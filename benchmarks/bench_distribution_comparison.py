@@ -1,0 +1,78 @@
+"""Distribution-family comparison: 1D vs 1.5D vs 2D (paper §1-2 arc).
+
+The paper's introduction motivates 2D layouts through the failures of
+the earlier families: 1D blows up in message count — O(p^2) — and in
+hub-induced ghost state; 1.5D fixes the hub imbalance by sharing
+high-degree vertices but keeps the all-to-all for the rest; 2D bounds
+both messages (O(p) total) and per-rank state (O(N/sqrt(p))).  This
+bench runs the same CC computation through all three engines on a
+power-law input and reports modeled time, serialized messages, and
+ghost/replicated state, reproducing the narrative quantitatively.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms import connected_components
+from repro.baselines import OneDEngine, OneFiveDEngine, cc_15d, cc_1d
+from repro.bench import grid_for
+from repro.cluster import AIMOS
+from repro.core.engine import Engine
+from repro.graph import load
+
+RANKS = [4, 16, 64]
+TARGET_EDGES = 1 << 15
+
+
+def _run():
+    ds = load("TW", target_edges=TARGET_EDGES, seed=13)
+    cluster = AIMOS.scaled(ds.scale_factor)
+    out = {}
+    for p in RANKS:
+        e1 = OneDEngine(ds.graph, p, cluster=cluster)
+        r1 = cc_1d(e1)
+        out[("1D", p)] = {
+            "time": r1.timings.total,
+            "msgs": e1.counters.total_serial_messages,
+            "state": sum(sh.ghost_gids.size for sh in e1.parts),
+        }
+        e15 = OneFiveDEngine(ds.graph, p, cluster=cluster)
+        r15 = cc_15d(e15)
+        out[("1.5D", p)] = {
+            "time": r15.timings.total,
+            "msgs": e15.counters.total_serial_messages,
+            "state": sum(sh.ghost_gids.size for sh in e15.shares)
+            + e15.n_hubs * p,
+        }
+        e2 = Engine(ds.graph, grid=grid_for(p), cluster=cluster)
+        r2 = connected_components(e2)
+        ghost_state = sum(ctx.localmap.n_col for ctx in e2)
+        out[("2D", p)] = {
+            "time": r2.timings.total,
+            "msgs": e2.counters.total_serial_messages,
+            "state": ghost_state,
+        }
+    return out
+
+
+def test_distribution_comparison(benchmark, record_results, run_once):
+    data = run_once(benchmark, _run)
+    lines = ["§1-2 — CC across distribution families (TW stand-in)"]
+    lines.append(
+        f"{'family':>7} {'ranks':>6} {'time[s]':>9} {'serial msgs':>12} {'ghost state':>12}"
+    )
+    for family in ("1D", "1.5D", "2D"):
+        for p in RANKS:
+            d = data[(family, p)]
+            lines.append(
+                f"{family:>7} {p:>6} {d['time']:>9.3f} {d['msgs']:>12} {d['state']:>12}"
+            )
+
+    # Message scaling: at 64 ranks the 1D all-to-all needs far more
+    # serialized messages than the 2D group collectives.
+    assert data[("1D", 64)]["msgs"] > 5 * data[("2D", 64)]["msgs"], data
+    # 1.5D removes hub ghosts relative to 1D.
+    assert data[("1.5D", 64)]["state"] < data[("1D", 64)]["state"], data
+    # 2D is the fastest family at scale (the paper's thesis).
+    assert data[("2D", 64)]["time"] < data[("1D", 64)]["time"], data
+    assert data[("2D", 64)]["time"] < data[("1.5D", 64)]["time"], data
+    record_results("distribution_comparison", "\n".join(lines))

@@ -1,0 +1,75 @@
+"""Paper Fig. 10: comparison against a CuGraph-like LA backend on zepy.
+
+RMAT26 on the 4xA100 workstation (the largest input CuGraph could fit
+there).  Paper findings reproduced: the linear-algebra backend's tuned
+SpMV wins PageRank (our general-model code shows an average ~1.47x
+slowdown), while our queue/frontier machinery wins CC (~3.25x) and BFS
+(~2.64x).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms import bfs, connected_components, pagerank
+from repro.baselines import spmv_bfs, spmv_cc, spmv_engine, spmv_pagerank
+from repro.cluster import ZEPY
+from repro.core.engine import Engine
+from repro.graph import load
+
+N_RANKS = 4
+TARGET_EDGES = 1 << 17
+
+
+def _run() -> dict[str, dict[str, float]]:
+    ds = load("RMAT26", target_edges=TARGET_EDGES, seed=8)
+    cluster = ZEPY.scaled(ds.scale_factor)
+    root = int(np.argmax(ds.graph.degrees()))
+
+    ours_engine = lambda: Engine(ds.graph, N_RANKS, cluster=cluster)
+    la_engine = lambda: spmv_engine(ds.graph, N_RANKS, cluster=cluster)
+
+    return {
+        "PR": {
+            "ours": pagerank(ours_engine(), iterations=20).timings.total,
+            "cugraph": spmv_pagerank(la_engine(), iterations=20).timings.total,
+        },
+        "CC": {
+            "ours": connected_components(ours_engine()).timings.total,
+            "cugraph": spmv_cc(la_engine()).timings.total,
+        },
+        "BFS": {
+            "ours": bfs(ours_engine(), root=root).timings.total,
+            "cugraph": spmv_bfs(la_engine(), root=root).timings.total,
+        },
+    }
+
+
+def test_fig10_vs_cugraph(benchmark, record_results, run_once):
+    times = run_once(benchmark, _run)
+    lines = ["Fig. 10 — ours vs CuGraph-like LA backend (RMAT26, 4xA100 zepy)"]
+    lines.append(f"{'algo':>5} {'ours[s]':>10} {'cugraph[s]':>11} {'ratio':>18}")
+
+    pr_slowdown = times["PR"]["ours"] / times["PR"]["cugraph"]
+    cc_speedup = times["CC"]["cugraph"] / times["CC"]["ours"]
+    bfs_speedup = times["BFS"]["cugraph"] / times["BFS"]["ours"]
+    lines.append(
+        f"{'PR':>5} {times['PR']['ours']:>10.3f} {times['PR']['cugraph']:>11.3f} "
+        f"ours {pr_slowdown:4.2f}x slower (paper: 1.47x)"
+    )
+    lines.append(
+        f"{'CC':>5} {times['CC']['ours']:>10.3f} {times['CC']['cugraph']:>11.3f} "
+        f"ours {cc_speedup:4.2f}x faster (paper: 3.25x)"
+    )
+    lines.append(
+        f"{'BFS':>5} {times['BFS']['ours']:>10.3f} {times['BFS']['cugraph']:>11.3f} "
+        f"ours {bfs_speedup:4.2f}x faster (paper: 2.64x)"
+    )
+
+    # PageRank: the optimized LA routine wins at single-node scale,
+    # in the neighbourhood of the paper's 1.47x.
+    assert 1.1 < pr_slowdown < 2.2, pr_slowdown
+    # CC and BFS: the general graph model wins by a clear factor.
+    assert cc_speedup > 1.5, cc_speedup
+    assert bfs_speedup > 1.5, bfs_speedup
+    record_results("fig10_cugraph", "\n".join(lines))

@@ -1,0 +1,55 @@
+"""Paper Fig. 8: complex algorithms (MWM, LP, PJ) strong scaling.
+
+Strong scaling from 1 to 256 ranks on the real-input stand-ins.  Paper
+observations reproduced here: strong scaling holds for almost all
+methods and inputs; MWM and PJ plateau more than the benchmark
+algorithms (problem complexity and state-synchronization
+communication); LP scales well thanks to the 2.5D approach's
+proportionally lower communication share.
+"""
+
+from __future__ import annotations
+
+from repro.bench import ExperimentRow, format_rows, strong_scaling
+
+DATASETS = ["TW", "FR"]
+ALGOS = ["MWM", "LP", "PJ"]
+RANKS = [1, 4, 16, 64, 256]
+TARGET_EDGES = 1 << 16
+
+
+def _run() -> list[ExperimentRow]:
+    rows = []
+    for ds in DATASETS:
+        rows += strong_scaling(
+            ds, ALGOS, RANKS, target_edges=TARGET_EDGES, experiment="fig8", seed=6
+        )
+    return rows
+
+
+def test_fig8_complex_algorithms(benchmark, record_results, run_once):
+    rows = run_once(benchmark, _run)
+    by_key = {(r.dataset, r.algorithm, r.n_ranks): r for r in rows}
+    lines = [format_rows(rows, "Fig. 8 — MWM / LP / PJ strong scaling")]
+    lines.append("")
+
+    speedups = {}
+    for ds in DATASETS:
+        for algo in ALGOS:
+            t1 = by_key[(ds, algo, 1)].time_total
+            t256 = by_key[(ds, algo, 256)].time_total
+            speedups[(ds, algo)] = t1 / t256
+            lines.append(f"  {ds} {algo:>4}: 1 -> 256 speedup {t1 / t256:5.2f}x")
+            # Strong scaling to 256 ranks for all methods and inputs.
+            assert t256 < t1, (ds, algo)
+
+    for ds in DATASETS:
+        # LP exhibits the best scaling trends (2.5D: more computation,
+        # proportionally less communication).
+        assert speedups[(ds, "LP")] > speedups[(ds, "MWM")], (ds, speedups)
+        assert speedups[(ds, "LP")] > speedups[(ds, "PJ")], (ds, speedups)
+        # MWM and PJ plateau: their large-scale speedup stays well under
+        # the LP curve but they still make progress.
+        assert speedups[(ds, "MWM")] > 1.2, (ds, speedups)
+        assert speedups[(ds, "PJ")] > 1.2, (ds, speedups)
+    record_results("fig8_complex", "\n".join(lines))

@@ -1,0 +1,68 @@
+"""Paper abstract / §5.3 headline: WDC12 throughput on 400 GPUs.
+
+"We observe performance from 26-123 billion edges processed per second
+on 400xV100 GPUs, depending on algorithm complexity."  Runs every
+implemented algorithm on the WDC stand-in at 400 ranks and reports the
+full-scale projected TEPS (the machine model is scaled by the stand-in
+factor, so modeled seconds read as full-scale seconds against the real
+128 B edge count).
+
+For iterative algorithms with fixed iteration counts (PR, LP), per-
+iteration TEPS is the comparable throughput number; for traversals and
+to-convergence algorithms the whole run counts, as in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.bench import ExperimentRow, make_engine, run_algorithm
+from repro.graph import load
+
+ALGOS = ["BFS", "CC", "PR", "MWM", "LP", "PJ"]
+N_RANKS = 400
+TARGET_EDGES = 1 << 17
+
+
+def _run() -> list[ExperimentRow]:
+    ds = load("WDC", target_edges=TARGET_EDGES, seed=9, weighted=True)
+    rows = []
+    for algo in ALGOS:
+        engine = make_engine(ds, N_RANKS)
+        rows.append(
+            run_algorithm(
+                algo,
+                engine,
+                experiment="headline",
+                dataset="WDC",
+                full_scale_edges=ds.meta.n_edges,
+            )
+        )
+    return rows
+
+
+def test_headline_wdc_teps(benchmark, record_results, run_once):
+    rows = run_once(benchmark, _run)
+    lines = ["Headline — WDC12 on 400 GPUs, projected full-scale throughput"]
+    lines.append(f"{'algo':>5} {'total[s]':>10} {'iters':>6} {'GTEPS':>8} {'GTEPS/iter-pass':>16}")
+    teps = {}
+    for r in rows:
+        per_pass = r.teps * r.iterations
+        teps[r.algorithm] = r.teps
+        lines.append(
+            f"{r.algorithm:>5} {r.time_total:>10.2f} {r.iterations:>6} "
+            f"{r.teps / 1e9:>8.1f} {per_pass / 1e9:>16.1f}"
+        )
+
+    fastest = max(teps.values()) / 1e9
+    slowest = min(teps.values()) / 1e9
+    lines.append("")
+    lines.append(
+        f"range: {slowest:.1f} - {fastest:.1f} GTEPS "
+        "(paper: 26 - 123 GTEPS depending on algorithm complexity)"
+    )
+    # Same order of magnitude and a wide complexity spread, with the
+    # cheap traversal fastest and the complex analytics slowest.
+    assert 5.0 < fastest < 500.0, fastest
+    assert 0.5 < slowest < 60.0, slowest
+    assert fastest / slowest > 3.0, (fastest, slowest)
+    assert teps["BFS"] >= teps["LP"], teps
+    record_results("headline_teps", "\n".join(lines))

@@ -1,0 +1,84 @@
+"""Paper §5 / §5.7 memory outcomes (Table 4 inputs vs frameworks).
+
+The paper's implicit feasibility table, reproduced analytically from
+the distribution footprint models:
+
+* HPCGraph-GPU (compact 2D) holds every Table 4 input, including the
+  128 B edge WDC12 on 400x32 GB V100s;
+* Gluon-GPU loads TW, FR and RMAT28 but hits allocation failures on
+  GSH and ClueWeb (its general-purpose substrate keeps O(N)
+  state/metadata per host);
+* CuGraph fits RMAT26 on the 4xA100 zepy but not RMAT28 (ETL peak of
+  several edge-list copies).
+"""
+
+from __future__ import annotations
+
+from repro.bench import (
+    estimate_2d_memory,
+    estimate_generic_substrate_memory,
+    estimate_la_backend_memory,
+)
+from repro.cluster import AIMOS, ZEPY
+from repro.graph.datasets import REGISTRY, DatasetMeta
+
+
+def _rmat_meta(scale: int) -> DatasetMeta:
+    return DatasetMeta(
+        name=f"rmat{scale}",
+        abbr=f"RMAT{scale}",
+        n_vertices=1 << scale,
+        n_edges=16 << scale,
+        kind="rmat",
+    )
+
+
+def _run() -> dict[str, bool]:
+    out = {}
+    # ours: every real input at the paper's largest rank counts
+    for abbr, p in [("TW", 256), ("FR", 256), ("CW", 256), ("GSH", 256), ("WDC", 400)]:
+        out[f"ours/{abbr}@{p}"] = estimate_2d_memory(REGISTRY[abbr], p, AIMOS).fits
+    # ours also held the small graphs in a single device (paper §5.1)
+    out["ours/TW@1"] = estimate_2d_memory(REGISTRY["TW"], 1, AIMOS).fits
+    out["ours/FR@1"] = estimate_2d_memory(REGISTRY["FR"], 1, AIMOS).fits
+    # gluon-like
+    for abbr in ["TW", "FR", "CW", "GSH"]:
+        out[f"gluon/{abbr}@256"] = estimate_generic_substrate_memory(
+            REGISTRY[abbr], 256, AIMOS
+        ).fits
+    out["gluon/RMAT28@256"] = estimate_generic_substrate_memory(
+        _rmat_meta(28), 256, AIMOS
+    ).fits
+    # cugraph-like on zepy
+    for scale in (26, 28):
+        out[f"cugraph/RMAT{scale}@4"] = estimate_la_backend_memory(
+            _rmat_meta(scale), 4, ZEPY
+        ).fits
+    return out
+
+
+def test_memory_feasibility(benchmark, record_results, run_once):
+    fits = run_once(benchmark, _run)
+    lines = ["Memory feasibility (modeled) — who can load what"]
+    for key in sorted(fits):
+        lines.append(f"  {key:>22}: {'fits' if fits[key] else 'OOM'}")
+
+    expected = {
+        "ours/TW@1": True,  # "TW and FR both fully fit within ... a single V100"
+        "ours/FR@1": True,
+        "ours/TW@256": True,
+        "ours/FR@256": True,
+        "ours/CW@256": True,
+        "ours/GSH@256": True,
+        "ours/WDC@400": True,
+        "gluon/TW@256": True,
+        "gluon/FR@256": True,
+        "gluon/RMAT28@256": True,
+        "gluon/CW@256": False,  # "unable to successfully run GSH or CW"
+        "gluon/GSH@256": False,
+        "cugraph/RMAT26@4": True,
+        "cugraph/RMAT28@4": False,  # "RMAT28 ... did not run on CuGraph"
+    }
+    for key, want in expected.items():
+        assert fits[key] == want, (key, fits[key])
+    record_results("memory_feasibility", "\n".join(lines))

@@ -1,0 +1,60 @@
+"""Paper §2.1-2.2: message-count scaling, 1D vs 2D.
+
+The core communication argument: a 1D distribution's all-to-all ghost
+exchange needs O(p^2) messages, while 2D group collectives serialize
+only O(sqrt(p)) messages per group and O(p) in total.  This bench runs
+the same CC computation through both engines across rank counts and
+reports the measured serialized message counts per exchange round.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import OneDEngine, cc_1d
+from repro.bench import grid_for
+from repro.algorithms import connected_components
+from repro.cluster import AIMOS
+from repro.core.engine import Engine
+from repro.graph import load
+
+RANKS = [4, 16, 64]
+TARGET_EDGES = 1 << 15
+
+
+def _run() -> dict[str, dict[int, float]]:
+    ds = load("TW", target_edges=TARGET_EDGES, seed=10)
+    out: dict[str, dict[int, float]] = {"1D": {}, "2D": {}}
+    for p in RANKS:
+        eng1 = OneDEngine(ds.graph, p, cluster=AIMOS.scaled(ds.scale_factor))
+        cc_1d(eng1)
+        a2a = eng1.counters.by_kind["alltoallv"]
+        out["1D"][p] = a2a.serial_messages / a2a.calls
+
+        eng2 = Engine(
+            ds.graph, grid=grid_for(p), cluster=AIMOS.scaled(ds.scale_factor)
+        )
+        connected_components(eng2)
+        # Per-exchange-stage serialized messages: one collective per
+        # group, groups run concurrently, so a stage's serialized count
+        # is one group's count; sum both stages of an iteration.
+        agv = eng2.counters.by_kind["allgatherv"]
+        out["2D"][p] = agv.serial_messages / agv.calls * 2
+    return out
+
+
+def test_message_scaling(benchmark, record_results, run_once):
+    msgs = run_once(benchmark, _run)
+    lines = ["§2 — serialized messages per exchange round, 1D vs 2D"]
+    lines.append(f"{'ranks':>6} {'1D':>10} {'2D':>10}")
+    for p in RANKS:
+        lines.append(f"{p:>6} {msgs['1D'][p]:>10.1f} {msgs['2D'][p]:>10.1f}")
+
+    # 1D grows quadratically: p(p-1) exactly.
+    for p in RANKS:
+        assert msgs["1D"][p] == p * (p - 1), (p, msgs)
+    # 2D grows with the group size, i.e. O(sqrt(p)) per round.
+    for p in RANKS:
+        assert msgs["2D"][p] <= 4 * p**0.5, (p, msgs)
+    # Crossover: by 64 ranks the 1D exchange needs well over an order
+    # of magnitude more serialized messages.
+    assert msgs["1D"][64] > 10 * msgs["2D"][64], msgs
+    record_results("message_scaling", "\n".join(lines))

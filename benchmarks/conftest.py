@@ -1,0 +1,43 @@
+"""Shared infrastructure for the figure-reproduction benches.
+
+Each bench regenerates one of the paper's tables or figures: it runs
+the experiment through :mod:`repro.bench.harness`, prints the same
+rows/series the paper reports, persists them under
+``benchmarks/results/``, and asserts the paper's qualitative claims
+(who wins, by roughly what factor, where crossovers fall).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_results():
+    """Persist a bench's printed table under benchmarks/results/."""
+
+    def _write(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print()
+        print(text)
+
+    return _write
+
+
+@pytest.fixture
+def run_once():
+    """Time one full experiment run with pytest-benchmark.
+
+    The simulated experiments are deterministic, so a single round is
+    both sufficient and considerably cheaper than statistical repeats.
+    """
+
+    def _run(benchmark, fn):
+        return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+    return _run

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Regenerate every paper figure/table and print a one-page summary.
+
+Equivalent to ``pytest benchmarks/ --benchmark-only`` but as a plain
+script: runs each bench module's experiment function directly, writes
+the tables under ``benchmarks/results/``, and finishes with a summary
+of which paper claims were reproduced.
+
+Usage::
+
+    python scripts/run_all_figures.py
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+import time
+
+ROOT = pathlib.Path(__file__).parent.parent
+RESULTS = ROOT / "benchmarks" / "results"
+
+
+def main() -> int:
+    start = time.time()
+    print("regenerating all paper figures (pytest benchmarks/ --benchmark-only) ...")
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "pytest",
+            str(ROOT / "benchmarks"),
+            "--benchmark-only",
+            "-q",
+            "--no-header",
+        ],
+        cwd=ROOT,
+    )
+    elapsed = time.time() - start
+    print(f"\nbench suite finished in {elapsed:.0f}s (exit {proc.returncode})")
+    if not RESULTS.exists():
+        print("no results directory produced")
+        return proc.returncode or 1
+
+    print("\n" + "=" * 70)
+    print("RESULTS SUMMARY".center(70))
+    print("=" * 70)
+    for path in sorted(RESULTS.glob("*.txt")):
+        text = path.read_text().strip().splitlines()
+        print(f"\n--- {path.stem} " + "-" * max(1, 50 - len(path.stem)))
+        head = text[:3]
+        tail = [ln for ln in text[-6:] if ln not in head]
+        for line in head + (["   ..."] if len(text) > 9 else []) + tail:
+            print(f"  {line}")
+    print()
+    print(f"full tables: {RESULTS}/")
+    print("paper-vs-measured record: EXPERIMENTS.md")
+    return proc.returncode
+
+
+if __name__ == "__main__":
+    sys.exit(main())

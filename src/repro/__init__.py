@@ -1,0 +1,36 @@
+"""HPCGraph-GPU reproduction: 2D distributed graph processing on
+simulated GPU clusters.
+
+Reproduces "Scaling Distributed Graph Processing to Hundreds of GPUs"
+(Slota & Mandulak, ICPP 2025).  See DESIGN.md for the system inventory
+and EXPERIMENTS.md for the paper-vs-measured record.
+"""
+
+from . import algorithms, baselines, bench, cluster, comm, graph, patterns, queueing
+from .core import (
+    AlgorithmResult,
+    Engine,
+    RankContext,
+    TimingReport,
+    VertexProgram,
+    run_vertex_program,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "algorithms",
+    "baselines",
+    "bench",
+    "cluster",
+    "comm",
+    "graph",
+    "patterns",
+    "queueing",
+    "AlgorithmResult",
+    "Engine",
+    "RankContext",
+    "TimingReport",
+    "VertexProgram",
+    "run_vertex_program",
+]

@@ -1,0 +1,277 @@
+"""Direction-optimizing breadth-first search (paper §4).
+
+A standard hybrid BFS in the style of Beamer et al. with the paper's
+static parameters: top-down (push) expansion while the frontier is
+small, switching to bottom-up (pull) when the frontier's edge count
+exceeds ``m_unvisited / alpha`` (and the frontier is growing), and
+back to top-down when it shrinks below ``N / beta``.  Communication
+follows the paper's dense/sparse philosophy: top-down iterations are
+sparse queue exchanges; bottom-up iterations (which only run when the
+frontier covers much of the graph) exchange parent slices densely, the
+Graph500-style whole-frontier reduction.  Parent assignments reduce
+with MIN over candidate parent GIDs so every rank resolves ties
+identically.
+
+State: ``parent`` holds the parent's relabeled GID (``inf`` =
+unvisited); ``level`` is maintained locally from the iteration at which
+a vertex's parent first appeared (no extra exchange needed, since
+parent updates are made consistent each iteration).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.engine import Engine
+from ..core.result import AlgorithmResult, TimingReport
+from ..patterns.dense import dense_pull
+from ..patterns.sparse import sparse_push
+from .pagerank import compute_global_degrees
+
+__all__ = ["bfs", "pseudo_diameter", "ALPHA", "BETA"]
+
+#: Beamer et al. static switching parameters (as used by the paper).
+ALPHA = 15.0
+BETA = 18.0
+
+INF = np.inf
+
+
+def bfs(
+    engine: Engine,
+    root: int,
+    alpha: float = ALPHA,
+    beta: float = BETA,
+    hybrid: bool = True,
+) -> AlgorithmResult:
+    """BFS from ``root`` (original vertex id).
+
+    Returns a parent array in original ids (root's parent is itself,
+    ``-1`` marks unreachable vertices) plus levels in ``extra``.
+    ``hybrid=False`` forces pure top-down (for ablations).
+    """
+    engine.reset_timers()
+    part, grid = engine.partition, engine.grid
+    n = part.n_vertices
+    if not 0 <= root < n:
+        raise ValueError(f"root {root} out of range")
+    root_rel = int(part.perm[root])
+
+    compute_global_degrees(engine)
+    m_total = 0.0
+    for ctx in engine:
+        ctx.alloc("parent", np.float64, fill=INF)
+        ctx.alloc("level", np.float64, fill=INF)
+    # Global edge count (sum of global degrees over one row partition).
+    for id_r, ranks in engine.row_groups():
+        ctx0 = engine.ctx(ranks[0])
+        m_total += float(ctx0.get("deg")[ctx0.row_slice].sum())
+
+    # Seed the root everywhere it is visible.
+    frontier: list[np.ndarray] = []
+    root_deg = 0.0
+    for ctx in engine:
+        lm = ctx.localmap
+        parent = ctx.get("parent")
+        level = ctx.get("level")
+        lids = []
+        if lm.row_start <= root_rel < lm.row_stop:
+            lids.append(lm.row_lid(root_rel))
+        if lm.col_start <= root_rel < lm.col_stop:
+            lids.append(lm.col_lid(root_rel))
+        for lid in lids:
+            parent[lid] = root_rel
+            level[lid] = 0.0
+        if lids:
+            root_deg = float(ctx.get("deg")[lids[0]])
+        frontier.append(
+            np.array([lm.row_lid(root_rel)], dtype=np.int64)
+            if lm.row_start <= root_rel < lm.row_stop
+            else np.empty(0, dtype=np.int64)
+        )
+
+    n_visited = 1
+    m_frontier = root_deg
+    m_frontier_prev = 0.0
+    m_unvisited = m_total - root_deg
+    depth = 0
+    bottom_up = False
+    direction_log: list[str] = []
+
+    while True:
+        depth += 1
+        if hybrid:
+            growing = m_frontier > m_frontier_prev
+            if not bottom_up and growing and m_frontier > m_unvisited / alpha:
+                # Beamer: switch down only while the frontier grows.
+                bottom_up = True
+            elif bottom_up and (n_visited >= n or _frontier_size(engine, frontier) < n / beta):
+                bottom_up = False
+        direction_log.append("bottom-up" if bottom_up else "top-down")
+
+        queues: list[np.ndarray] = []
+        if not bottom_up:
+            # Top-down: expand the frontier, claim unvisited ghosts.
+            for ctx in engine:
+                parent = ctx.get("parent")
+                rows = frontier[ctx.rank]
+                degs = ctx.local_degrees()[rows - ctx.localmap.row_offset]
+                engine.charge_edges(ctx.rank, degs)
+                src, dst, _ = ctx.expand(rows)
+                if dst.size == 0:
+                    queues.append(np.empty(0, dtype=np.int64))
+                    continue
+                unvisited = parent[dst] == INF
+                src, dst = src[unvisited], dst[unvisited]
+                cand_parent = ctx.localmap.row_gid(src).astype(np.float64)
+                uniq = np.unique(dst)
+                old = parent[uniq].copy()
+                np.minimum.at(parent, dst, cand_parent)
+                queues.append(uniq[parent[uniq] < old])
+            result = sparse_push(engine, "parent", queues, op="min")
+        else:
+            # Bottom-up: every unvisited owned vertex scans for a
+            # frontier neighbor (level == depth - 1).  Communication is
+            # *dense* (a parent-slice MIN reduction over the row group
+            # plus the column broadcast) — the Graph500/Beamer-style
+            # whole-frontier exchange: bottom-up only runs when the
+            # frontier is a large fraction of the graph, exactly the
+            # regime where the paper switches to dense communications
+            # (§3.3.1), and the dense slice avoids the per-pair
+            # duplication a queue exchange would ship.
+            for ctx in engine:
+                parent = ctx.get("parent")
+                level = ctx.get("level")
+                lm = ctx.localmap
+                row_lids = ctx.row_lids()
+                unvisited_rows = row_lids[parent[row_lids] == INF]
+                degs = ctx.local_degrees()[unvisited_rows - lm.row_offset]
+                engine.charge_edges(ctx.rank, degs)
+                src, dst, _ = ctx.expand(unvisited_rows)
+                if dst.size:
+                    in_frontier = level[dst] == depth - 1
+                    src, dst = src[in_frontier], dst[in_frontier]
+                    cand_parent = ctx.localmap.col_gid(dst).astype(np.float64)
+                    np.minimum.at(parent, src, cand_parent)
+            dense_pull(engine, "parent", op="min")
+            result = None
+
+        if result is not None:
+            n_updated = result.n_updated
+        else:
+            # Dense path: count freshly visited row vertices (one
+            # representative per row group) and share the verdict with
+            # a one-word AllReduce, as a real dense iteration must.
+            n_updated = 0
+            for id_r, ranks in engine.row_groups():
+                ctx0 = engine.ctx(ranks[0])
+                p0 = ctx0.get("parent")[ctx0.row_slice]
+                l0 = ctx0.get("level")[ctx0.row_slice]
+                n_updated += int(np.count_nonzero(np.isfinite(p0) & ~np.isfinite(l0)))
+            flags = [np.array([float(n_updated)]) for _ in range(grid.n_ranks)]
+            engine.comm.allreduce(list(range(grid.n_ranks)), flags, op="max")
+
+        if n_updated == 0:
+            engine.clocks.mark_iteration()
+            break
+
+        # Record levels of freshly visited vertices and build the next
+        # frontier (newly visited owned vertices, consistent per group).
+        new_frontier: list[np.ndarray] = []
+        m_frontier_prev = m_frontier
+        m_frontier = 0.0
+        for ctx in engine:
+            parent = ctx.get("parent")
+            level = ctx.get("level")
+            fresh = np.flatnonzero((parent != INF) & (level == INF))
+            level[fresh] = depth
+            engine.charge_vertices(ctx.rank, ctx.n_total)
+            if result is not None:
+                rows = np.asarray(result.active_row[ctx.rank], dtype=np.int64)
+            else:
+                rs = ctx.row_slice
+                rows = fresh[(fresh >= rs.start) & (fresh < rs.stop)]
+            new_frontier.append(rows)
+        for id_r, ranks in engine.row_groups():
+            ctx0 = engine.ctx(ranks[0])
+            rows = new_frontier[ranks[0]]
+            m_frontier += float(ctx0.get("deg")[rows].sum())
+        frontier = new_frontier
+        n_visited += n_updated
+        m_unvisited -= m_frontier
+        engine.clocks.mark_iteration()
+        if n_visited >= n:
+            break
+
+    parents_rel = engine.gather("parent")
+    levels = engine.gather("level")
+    reached = np.isfinite(parents_rel)
+    parents = np.full(n, -1, dtype=np.int64)
+    parents[reached] = part.original_gid(parents_rel[reached].astype(np.int64))
+    out_levels = np.where(np.isfinite(levels), levels, -1).astype(np.int64)
+    return AlgorithmResult(
+        values=parents,
+        timings=engine.timing_report(),
+        iterations=depth,
+        counters=engine.counters.summary(),
+        extra={
+            "levels": out_levels,
+            "n_visited": int(n_visited),
+            "directions": direction_log,
+        },
+    )
+
+
+def _frontier_size(engine: Engine, frontier: list[np.ndarray]) -> int:
+    """Global frontier cardinality (one representative per row group)."""
+    total = 0
+    for id_r, ranks in engine.row_groups():
+        total += int(np.asarray(frontier[ranks[0]]).size)
+    return total
+
+
+def pseudo_diameter(engine: Engine, start: int = 0, sweeps: int = 3) -> AlgorithmResult:
+    """Lower-bound the graph diameter with repeated BFS sweeps.
+
+    The classic double-sweep heuristic: BFS from ``start``, jump to the
+    farthest vertex found, repeat.  Each sweep reuses the full hybrid
+    BFS machinery; the bound is monotone over sweeps and exact on
+    trees.  Returns the bound in ``extra["diameter_lower_bound"]``
+    along with the endpoint pair realizing it.
+    """
+    part = engine.partition
+    n = part.n_vertices
+    if not 0 <= start < n:
+        raise ValueError(f"start {start} out of range")
+    best = 0
+    endpoints = (start, start)
+    current = start
+    total_iterations = 0
+    timings = None
+    counters = {}
+    for _ in range(max(sweeps, 1)):
+        res = bfs(engine, root=current)
+        levels = res.extra["levels"]
+        total_iterations += res.iterations
+        timings = res.timings if timings is None else TimingReport(
+            total=timings.total + res.timings.total,
+            compute=timings.compute + res.timings.compute,
+            comm=timings.comm + res.timings.comm,
+        )
+        counters = res.counters
+        far = int(np.argmax(levels))
+        depth = int(levels[far])
+        if depth > best:
+            best = depth
+            endpoints = (current, far)
+        if far == current or depth <= best - 1:
+            break
+        current = far
+    assert timings is not None
+    return AlgorithmResult(
+        values=None,
+        timings=timings,
+        iterations=total_iterations,
+        counters=counters,
+        extra={"diameter_lower_bound": best, "endpoints": endpoints},
+    )

@@ -1,0 +1,209 @@
+"""Pointer jumping via packet swapping (paper §3.3.3, §4).
+
+Root-finding over a forest embedded in the graph: each vertex first
+instantiates a pointer along an owned edge (deterministically: its
+minimum-original-id neighbor, if smaller than itself — strictly
+decreasing pointers cannot form cycles, so local minima become roots),
+then pointers are repeatedly doubled, ``p[v] <- p[p[v]]``, until every
+vertex points at its root.
+
+Pointer updates are not propagated along graph edges — ``p[v]`` may be
+an arbitrary vertex — so the structured state exchanges don't apply.
+Instead each jump is a *packet swap* (paper §3.3.3): the home rank of
+``v`` (the unique rank owning ``v`` in both its row and column range)
+sends a query packet to the home rank of ``p[v]``, which replies with
+``p[p[v]]``; both hops ride the row-then-column 2D routing of
+:func:`repro.patterns.packets.packet_swap`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.engine import Engine
+from ..core.result import AlgorithmResult
+from ..patterns.packets import packet_swap
+from ..patterns.sparse import PAIR_DTYPE
+
+__all__ = ["pointer_jumping", "initial_parents"]
+
+#: Query/response packet: subject vertex, payload vertex, dest rank.
+PJ_DTYPE = np.dtype([("src", np.int64), ("vert", np.int64), ("dest", np.int64)])
+
+
+def initial_parents(graph) -> np.ndarray:
+    """The serial form of the deterministic initial forest.
+
+    ``parent[v] = min(neighbors)`` when that minimum is below ``v``,
+    else ``v`` (a root).  Shared rule between the serial reference and
+    the distributed implementation.
+    """
+    n = graph.n_vertices
+    parents = np.arange(n, dtype=np.int64)
+    degs = np.diff(graph.indptr)
+    src = np.repeat(parents, degs)
+    if src.size:
+        best = np.full(n, np.iinfo(np.int64).max, dtype=np.int64)
+        np.minimum.at(best, src, graph.indices)
+        take = best < parents
+        parents[take] = best[take]
+    return parents
+
+
+def _home_ranks(engine: Engine, gids: np.ndarray) -> np.ndarray:
+    """Home rank of each relabeled GID: the rank owning it in both its
+    row range and its column range."""
+    part, grid = engine.partition, engine.grid
+    id_r = np.searchsorted(part.row_offsets, gids, side="right") - 1
+    id_c = np.searchsorted(part.col_offsets, gids, side="right") - 1
+    return id_r * grid.R + id_c
+
+
+def pointer_jumping(engine: Engine, max_iterations: int | None = None) -> AlgorithmResult:
+    """Find the forest root of every vertex.
+
+    Returns roots in original vertex order, equal to serially chasing
+    :func:`initial_parents` on the input graph.
+    """
+    engine.reset_timers()
+    part, grid = engine.partition, engine.grid
+    n = part.n_vertices
+    all_ranks = list(range(grid.n_ranks))
+
+    # ---- build the initial forest (min-neighbor rule, by orig id) ----
+    # Per-rank local minima of neighbor *original* ids, merged along row
+    # groups with the generic sparse machinery (a plain MIN reduction).
+    cand: list[np.ndarray] = []
+    for ctx in engine:
+        lm = ctx.localmap
+        rows = ctx.row_lids()
+        engine.charge_edges(ctx.rank, ctx.local_degrees())
+        src, dst, _ = ctx.expand(rows)
+        buf = np.empty(0, dtype=PAIR_DTYPE)
+        if src.size:
+            best = np.full(ctx.n_total, np.iinfo(np.int64).max, dtype=np.int64)
+            np.minimum.at(best, src, part.original_gid(lm.col_gid(dst)))
+            have = rows[best[rows] < np.iinfo(np.int64).max]
+            buf = np.empty(have.size, dtype=PAIR_DTYPE)
+            buf["gid"] = lm.row_gid(have)
+            buf["val"] = best[have]
+        cand.append(buf)
+
+    # Home-rank authoritative parent stores (relabeled GIDs).
+    home_parent: dict[int, np.ndarray] = {}
+    home_gids: dict[int, np.ndarray] = {}
+    for id_r, ranks in engine.row_groups():
+        rbuf = engine.comm.allgatherv(ranks, [cand[r] for r in ranks])
+        rs, re = part.row_range(id_r)
+        best = np.full(re - rs, np.iinfo(np.int64).max, dtype=np.int64)
+        if rbuf.size:
+            np.minimum.at(best, rbuf["gid"] - rs, rbuf["val"].astype(np.int64))
+        gids = np.arange(rs, re, dtype=np.int64)
+        orig = part.original_gid(gids)
+        parent_orig = np.where(best < orig, best, orig)
+        parent_rel = part.perm[parent_orig]
+        for r in ranks:
+            lm = engine.ctx(r).localmap
+            mine = lm.owns_col_gid(gids)
+            home_gids[r] = gids[mine]
+            home_parent[r] = parent_rel[mine]
+            engine.charge_vertices(r, int(rbuf.size))
+
+    # ---- jump until every pointer reaches a root ----------------------
+    # Hot targets (roots accumulate pointers geometrically) would make
+    # per-vertex queries converge on a single home rank, so each rank
+    # queries every *distinct* target once and fans the answer out to
+    # all of its local pointers — the packet carries {requesting rank,
+    # target, destination}, matching the paper's owner/state/direction
+    # packet layout.  A vertex whose parent answers for itself is at a
+    # root and stops participating.
+    converged: dict[int, np.ndarray] = {
+        r: home_gids[r] == home_parent[r] for r in all_ranks
+    }
+    iterations = 0
+    while True:
+        iterations += 1
+        queries: list[np.ndarray] = []
+        for r in all_ranks:
+            pending = ~converged[r]
+            targets = np.unique(home_parent[r][pending])
+            q = np.empty(targets.size, dtype=PJ_DTYPE)
+            q["src"] = r  # requesting rank
+            q["vert"] = targets
+            q["dest"] = _home_ranks(engine, targets)
+            queries.append(q)
+            engine.charge_vertices(r, int(pending.sum()) + targets.size)
+        arrived = packet_swap(engine, queries)
+
+        # Responses: look up p[target], reply to the requesting rank.
+        responses: list[np.ndarray] = []
+        for r in all_ranks:
+            inbox = arrived[r]
+            lookup = np.searchsorted(home_gids[r], inbox["vert"])
+            resp = np.empty(inbox.size, dtype=PJ_DTYPE)
+            resp["src"] = inbox["vert"]  # the queried target
+            resp["vert"] = home_parent[r][lookup]
+            resp["dest"] = inbox["src"]
+            responses.append(resp)
+            engine.charge_vertices(r, inbox.size)
+        delivered = packet_swap(engine, responses)
+
+        # Apply jumps; a vertex converges once its parent is a root.
+        n_changed = 0
+        for r in all_ranks:
+            inbox = delivered[r]
+            if inbox.size == 0:
+                continue
+            # Sorted arrays of {queried target, its parent}.
+            order = np.argsort(inbox["src"], kind="stable")
+            t_sorted = inbox["src"][order]
+            g_sorted = inbox["vert"][order]
+            pending = ~converged[r]
+            parents = home_parent[r]
+            pos = np.searchsorted(t_sorted, parents[pending])
+            new_vals = g_sorted[pos]
+            is_root_parent = new_vals == parents[pending]
+            old = parents[pending].copy()
+            parents[pending] = new_vals
+            conv = converged[r].copy()
+            conv_idx = np.flatnonzero(pending)
+            conv[conv_idx[is_root_parent]] = True
+            converged[r] = conv
+            n_changed += int(np.count_nonzero(old != new_vals))
+            engine.charge_vertices(r, inbox.size + int(pending.sum()))
+
+        # Global convergence check (one-word AllReduce).
+        flags = [np.array([float(n_changed)]) for _ in all_ranks]
+        engine.comm.allreduce(all_ranks, flags, op="max")
+        engine.clocks.mark_iteration()
+        if n_changed == 0:
+            break
+        if max_iterations is not None and iterations >= max_iterations:
+            break
+
+    # ---- sync authoritative slices across row groups, then gather ----
+    for ctx in engine:
+        ctx.alloc("pj", np.float64, fill=-1.0)
+    for id_r, ranks in engine.row_groups():
+        sbufs = []
+        for r in ranks:
+            buf = np.empty(home_gids[r].size, dtype=PAIR_DTYPE)
+            buf["gid"] = home_gids[r]
+            buf["val"] = home_parent[r]
+            sbufs.append(buf)
+        rbuf = engine.comm.allgatherv(ranks, sbufs)
+        for r in ranks:
+            ctx = engine.ctx(r)
+            lm = ctx.localmap
+            ctx.get("pj")[lm.row_lid(rbuf["gid"])] = rbuf["val"]
+            engine.charge_vertices(r, rbuf.size)
+
+    roots_rel = engine.gather("pj").astype(np.int64)
+    values = part.original_gid(roots_rel)
+    return AlgorithmResult(
+        values=values,
+        timings=engine.timing_report(),
+        iterations=iterations,
+        counters=engine.counters.summary(),
+        extra={"n_roots": int(np.unique(values).size)},
+    )

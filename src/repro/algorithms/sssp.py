@@ -1,0 +1,93 @@
+"""Single-source shortest paths (extension beyond the paper's Table 3).
+
+Bellman-Ford-style label correcting over the paper's sparse push
+pattern: distances relax along local edges (``dist[u] <-
+min(dist[u], dist[v] + w(v, u))``), updated ghosts exchange through
+the column groups, owners synchronize through the row groups, and the
+active-vertex queue carries exactly the vertices whose distance
+improved — the same machinery as color-propagation CC with a weighted
+reduction, demonstrating how naturally the substrate generalizes to
+new vertex-state algorithms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.engine import Engine
+from ..core.result import AlgorithmResult
+from ..patterns.sparse import sparse_push
+
+__all__ = ["sssp"]
+
+INF = np.inf
+
+
+def sssp(
+    engine: Engine, root: int, max_iterations: int | None = None
+) -> AlgorithmResult:
+    """Shortest path distance from ``root`` to every vertex.
+
+    Requires non-negative edge weights.  Returns distances in original
+    vertex order (``inf`` for unreachable vertices), exactly equal to a
+    serial Bellman-Ford / Dijkstra result.
+    """
+    part, grid = engine.partition, engine.grid
+    if not part.weighted:
+        raise ValueError("sssp needs an edge-weighted graph")
+    n = part.n_vertices
+    if not 0 <= root < n:
+        raise ValueError(f"root {root} out of range")
+    engine.reset_timers()
+    root_rel = int(part.perm[root])
+
+    frontier: list[np.ndarray] = []
+    for ctx in engine:
+        lm = ctx.localmap
+        dist = ctx.alloc("dist", np.float64, fill=INF)
+        if lm.row_start <= root_rel < lm.row_stop:
+            dist[lm.row_lid(root_rel)] = 0.0
+        if lm.col_start <= root_rel < lm.col_stop:
+            dist[lm.col_lid(root_rel)] = 0.0
+        engine.charge_vertices(ctx.rank, ctx.n_total)
+        frontier.append(
+            np.array([lm.row_lid(root_rel)], dtype=np.int64)
+            if lm.row_start <= root_rel < lm.row_stop
+            else np.empty(0, dtype=np.int64)
+        )
+
+    iterations = 0
+    while True:
+        iterations += 1
+        queues: list[np.ndarray] = []
+        for ctx in engine:
+            dist = ctx.get("dist")
+            rows = frontier[ctx.rank]
+            degs = ctx.local_degrees()[rows - ctx.localmap.row_offset]
+            engine.charge_edges(ctx.rank, degs, work_per_edge=1.5)
+            src, dst, w = ctx.expand(rows)
+            if dst.size == 0:
+                queues.append(np.empty(0, dtype=np.int64))
+                continue
+            cand = dist[src] + w
+            uniq = np.unique(dst)
+            old = dist[uniq].copy()
+            np.minimum.at(dist, dst, cand)
+            queues.append(uniq[dist[uniq] < old])
+        result = sparse_push(engine, "dist", queues, op="min")
+        frontier = result.active_row
+        engine.clocks.mark_iteration()
+        if result.n_updated == 0:
+            break
+        if max_iterations is not None and iterations >= max_iterations:
+            break
+
+    values = engine.gather("dist")
+    reached = np.isfinite(values)
+    return AlgorithmResult(
+        values=values,
+        timings=engine.timing_report(),
+        iterations=iterations,
+        counters=engine.counters.summary(),
+        extra={"n_reached": int(np.count_nonzero(reached))},
+    )

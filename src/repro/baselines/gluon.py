@@ -1,0 +1,50 @@
+"""Gluon-GPU-like comparator (paper §5.7, Fig. 9).
+
+Gluon (Galois) also supports a 2D cartesian vertex cut, but builds it
+on a *general-purpose* communication substrate: arbitrary
+distributions are supported at the cost of per-message metadata,
+host-staged serialization, and no lightweight aggregated group calls.
+The paper finds this matches HPCGraph-GPU on one node but collapses
+past ~64 ranks once network latency multiplies the per-message
+overhead.
+
+This module models exactly that: the same 2D engine and the same
+algorithms, driven through :data:`~repro.cluster.costmodel.GENERIC_PROFILE`
+(high per-message cost, 1.35x volume inflation, no grouped calls).
+Compute is identical — which is why the baseline matches at 1-4 ranks —
+so any divergence in the Fig. 9 bench is purely substrate overhead,
+mirroring the paper's diagnosis.
+"""
+
+from __future__ import annotations
+
+from ..cluster.config import AIMOS, ClusterConfig
+from ..cluster.costmodel import GENERIC_PROFILE
+from ..comm.grid import Grid2D
+from ..core.engine import Engine
+from ..graph.csr import Graph
+
+__all__ = ["gluon_engine"]
+
+
+def gluon_engine(
+    graph: Graph,
+    n_ranks: int | None = None,
+    grid: Grid2D | None = None,
+    cluster: ClusterConfig = AIMOS,
+    **kwargs,
+) -> Engine:
+    """An :class:`Engine` configured like Gluon-GPU's 2D CVC.
+
+    Same partitioning and kernels as the paper's system; only the
+    communication substrate profile differs.  Pass the result to any
+    function in :mod:`repro.algorithms`.
+    """
+    return Engine(
+        graph,
+        n_ranks=n_ranks,
+        grid=grid,
+        cluster=cluster,
+        profile=GENERIC_PROFILE,
+        **kwargs,
+    )

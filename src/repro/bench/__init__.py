@@ -1,0 +1,49 @@
+"""Benchmark harness reproducing the paper's tables and figures."""
+
+from .harness import (
+    ALGORITHMS,
+    harmonic_mean_teps,
+    run_bfs_batch,
+    sample_bfs_roots,
+    RANK_GRIDS,
+    ExperimentRow,
+    format_rows,
+    grid_for,
+    make_engine,
+    run_algorithm,
+    strong_scaling,
+    weak_scaling,
+)
+from .reporting import speedup_table, to_csv, to_markdown
+from .scaling import (
+    MemoryEstimate,
+    estimate_1d_memory,
+    estimate_2d_memory,
+    estimate_generic_substrate_memory,
+    estimate_la_backend_memory,
+    fits,
+)
+
+__all__ = [
+    "ALGORITHMS",
+    "harmonic_mean_teps",
+    "run_bfs_batch",
+    "sample_bfs_roots",
+    "RANK_GRIDS",
+    "ExperimentRow",
+    "format_rows",
+    "grid_for",
+    "make_engine",
+    "run_algorithm",
+    "strong_scaling",
+    "weak_scaling",
+    "speedup_table",
+    "to_csv",
+    "to_markdown",
+    "MemoryEstimate",
+    "estimate_1d_memory",
+    "estimate_2d_memory",
+    "estimate_generic_substrate_memory",
+    "estimate_la_backend_memory",
+    "fits",
+]

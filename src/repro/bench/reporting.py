@@ -1,0 +1,74 @@
+"""Result export: aligned text, Markdown, and CSV writers.
+
+The bench harness produces :class:`~repro.bench.harness.ExperimentRow`
+records; this module renders them for humans (Markdown tables in the
+style of EXPERIMENTS.md) and for downstream tooling (CSV).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Sequence
+
+from .harness import ExperimentRow
+
+__all__ = ["to_markdown", "to_csv", "speedup_table"]
+
+_COLUMNS = [
+    ("dataset", lambda r: r.dataset),
+    ("algo", lambda r: r.algorithm),
+    ("ranks", lambda r: str(r.n_ranks)),
+    ("grid", lambda r: r.grid),
+    ("total_s", lambda r: f"{r.time_total:.6g}"),
+    ("compute_s", lambda r: f"{r.time_compute:.6g}"),
+    ("comm_s", lambda r: f"{r.time_comm:.6g}"),
+    ("iterations", lambda r: str(r.iterations)),
+    ("gteps", lambda r: f"{r.teps / 1e9:.4g}"),
+]
+
+
+def to_markdown(rows: Sequence[ExperimentRow], title: str = "") -> str:
+    """Render rows as a GitHub-flavoured Markdown table."""
+    header = "| " + " | ".join(name for name, _ in _COLUMNS) + " |"
+    rule = "|" + "|".join("---" for _ in _COLUMNS) + "|"
+    lines = []
+    if title:
+        lines.append(f"### {title}")
+        lines.append("")
+    lines += [header, rule]
+    for r in rows:
+        lines.append("| " + " | ".join(fn(r) for _, fn in _COLUMNS) + " |")
+    return "\n".join(lines)
+
+
+def to_csv(rows: Sequence[ExperimentRow]) -> str:
+    """Render rows as CSV (header + one line per row)."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow([name for name, _ in _COLUMNS] + ["experiment"])
+    for r in rows:
+        writer.writerow([fn(r) for _, fn in _COLUMNS] + [r.experiment])
+    return buf.getvalue()
+
+
+def speedup_table(
+    rows: Sequence[ExperimentRow], baseline_ranks: int
+) -> dict[tuple[str, str], dict[int, float]]:
+    """Speedups relative to each series' ``baseline_ranks`` entry.
+
+    Returns ``{(dataset, algo): {ranks: speedup}}`` — the shape of the
+    paper's Fig. 3 bottom panel.
+    """
+    series: dict[tuple[str, str], dict[int, float]] = {}
+    for r in rows:
+        series.setdefault((r.dataset, r.algorithm), {})[r.n_ranks] = r.time_total
+    out: dict[tuple[str, str], dict[int, float]] = {}
+    for key, times in series.items():
+        if baseline_ranks not in times:
+            raise ValueError(
+                f"series {key} has no entry at {baseline_ranks} ranks"
+            )
+        base = times[baseline_ranks]
+        out[key] = {p: base / t for p, t in sorted(times.items())}
+    return out

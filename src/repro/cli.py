@@ -1,0 +1,145 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``
+    Run one algorithm on a dataset stand-in over a simulated cluster
+    and print the timing/throughput summary::
+
+        python -m repro run --algo CC --dataset TW --ranks 16
+        python -m repro run --algo PR --dataset RMAT20 --ranks 64 --cluster zepy
+
+``scaling``
+    Strong-scaling sweep, printed as the paper's Fig. 3-style table::
+
+        python -m repro scaling --dataset GSH --algos BFS,PR,CC --ranks 1,4,16,64
+
+``info``
+    Show the registered datasets, machines, and algorithms.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .bench.harness import ALGORITHMS, format_rows, make_engine, run_algorithm, strong_scaling
+from .bench.reporting import to_csv, to_markdown
+from .cluster.config import AIMOS, DGX, ZEPY
+from .graph.datasets import available, load
+
+_CLUSTERS = {"aimos": AIMOS, "zepy": ZEPY, "dgx": DGX}
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    ds = load(
+        args.dataset,
+        target_edges=args.target_edges,
+        seed=args.seed,
+        weighted=args.algo.upper() in ("MWM",),
+    )
+    print(ds.note)
+    engine = make_engine(ds, args.ranks, cluster=_CLUSTERS[args.cluster])
+    row = run_algorithm(
+        args.algo.upper(),
+        engine,
+        experiment="cli",
+        dataset=args.dataset.upper(),
+        full_scale_edges=ds.meta.n_edges,
+    )
+    print(format_rows([row]))
+    print()
+    print(f"projected full-scale time : {row.time_total:.3f}s")
+    print(f"communication share       : {100 * row.time_comm / row.time_total:.0f}%")
+    print(f"projected throughput      : {row.teps / 1e9:.2f} GTEPS")
+    return 0
+
+
+def _cmd_scaling(args: argparse.Namespace) -> int:
+    algos = [a.strip().upper() for a in args.algos.split(",")]
+    ranks = [int(p) for p in args.ranks.split(",")]
+    rows = strong_scaling(
+        args.dataset,
+        algos,
+        ranks,
+        target_edges=args.target_edges,
+        cluster=_CLUSTERS[args.cluster],
+        seed=args.seed,
+    )
+    if args.format == "markdown":
+        print(to_markdown(rows, title=f"strong scaling on {args.dataset}"))
+    elif args.format == "csv":
+        print(to_csv(rows), end="")
+    else:
+        print(format_rows(rows, f"strong scaling on {args.dataset}"))
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    del args
+    from .graph.datasets import REGISTRY
+
+    print("datasets (paper Table 4; stand-ins generated on demand):")
+    for abbr in available():
+        m = REGISTRY[abbr]
+        print(
+            f"  {abbr:>4}  {m.name:<16} N={m.n_vertices:>13,}  M={m.n_edges:>16,}  [{m.kind}]"
+        )
+    print("  plus RMATxx / RANDxx synthetic families")
+    print()
+    print("machines:")
+    for name, cfg in _CLUSTERS.items():
+        node = cfg.node
+        print(
+            f"  {name:>6}: {node.gpus_per_node}x {cfg.gpu.name} per node, "
+            f"NVLink islands of {node.nvlink_group_size}, "
+            f"NIC {node.nic.bandwidth_Bps / 1e9:.1f} GB/s"
+        )
+    print()
+    print(f"algorithms: {', '.join(sorted(ALGORITHMS))} "
+          "(+ sssp, core_numbers, triangle_count via the library API)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HPCGraph-GPU reproduction: 2D distributed graph "
+        "processing on simulated GPU clusters",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one algorithm")
+    run.add_argument("--algo", required=True, choices=sorted(ALGORITHMS) + [a.lower() for a in ALGORITHMS])
+    run.add_argument("--dataset", default="TW")
+    run.add_argument("--ranks", type=int, default=16)
+    run.add_argument("--cluster", choices=sorted(_CLUSTERS), default="aimos")
+    run.add_argument("--target-edges", type=int, default=1 << 16)
+    run.add_argument("--seed", type=int, default=0)
+    run.set_defaults(func=_cmd_run)
+
+    scaling = sub.add_parser("scaling", help="strong-scaling sweep")
+    scaling.add_argument("--dataset", default="TW")
+    scaling.add_argument("--algos", default="BFS,PR,CC")
+    scaling.add_argument("--ranks", default="1,4,16,64")
+    scaling.add_argument("--cluster", choices=sorted(_CLUSTERS), default="aimos")
+    scaling.add_argument("--target-edges", type=int, default=1 << 16)
+    scaling.add_argument("--seed", type=int, default=0)
+    scaling.add_argument(
+        "--format", choices=["text", "markdown", "csv"], default="text"
+    )
+    scaling.set_defaults(func=_cmd_scaling)
+
+    info = sub.add_parser("info", help="list datasets, machines, algorithms")
+    info.set_defaults(func=_cmd_info)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,19 @@
+"""2D grid geometry, virtual clocks, counters, and collectives."""
+
+from .clocks import PhaseTimes, VirtualClocks
+from .collectives import REDUCE_OPS, BroadcastCall, Communicator
+from .counters import CommCounters, OpStats
+from .grid import Grid2D, factor_pairs, square_grid
+
+__all__ = [
+    "PhaseTimes",
+    "VirtualClocks",
+    "REDUCE_OPS",
+    "BroadcastCall",
+    "Communicator",
+    "CommCounters",
+    "OpStats",
+    "Grid2D",
+    "factor_pairs",
+    "square_grid",
+]

@@ -1,0 +1,110 @@
+"""Per-rank virtual clocks for BSP time accounting.
+
+Every rank carries a virtual clock.  Local kernels advance only that
+rank's clock; a collective synchronizes the participating group to the
+*maximum* clock in the group (stragglers gate everyone — the BSP
+model the paper uses) and then advances all members by the modeled
+collective time.  Reported times follow the paper's convention: the
+maximum over all ranks (paper §5.1: "reported as the maximum time over
+all ranks"), with computation and communication tracked separately
+(paper Figs. 3 and 5 plot the split).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["PhaseTimes", "VirtualClocks"]
+
+
+@dataclass(frozen=True)
+class PhaseTimes:
+    """A (total, computation, communication) time triple in seconds."""
+
+    total: float
+    compute: float
+    comm: float
+
+    def __sub__(self, other: "PhaseTimes") -> "PhaseTimes":
+        return PhaseTimes(
+            total=self.total - other.total,
+            compute=self.compute - other.compute,
+            comm=self.comm - other.comm,
+        )
+
+
+class VirtualClocks:
+    """Virtual time state for ``n_ranks`` simulated ranks."""
+
+    def __init__(self, n_ranks: int):
+        if n_ranks < 1:
+            raise ValueError("need at least one rank")
+        self.n_ranks = n_ranks
+        self.clock = np.zeros(n_ranks)
+        self.compute = np.zeros(n_ranks)
+        self.comm = np.zeros(n_ranks)
+        self.iteration_marks: list[PhaseTimes] = []
+
+    # ------------------------------------------------------------------
+    # charging
+    # ------------------------------------------------------------------
+    def add_compute(self, rank: int, seconds: float) -> None:
+        """Advance one rank's clock by local kernel time."""
+        if seconds < 0:
+            raise ValueError(f"negative compute time {seconds}")
+        self.clock[rank] += seconds
+        self.compute[rank] += seconds
+
+    def sync_group(self, ranks: Sequence[int], seconds: float) -> None:
+        """Synchronize a group and charge a collective of ``seconds``.
+
+        All members first wait for the slowest member, then advance
+        together; the collective duration is attributed to
+        communication time.  (Wait time is attributed to neither — it
+        is idle time, which the max-over-ranks report absorbs.)
+        """
+        if seconds < 0:
+            raise ValueError(f"negative comm time {seconds}")
+        idx = np.fromiter(ranks, dtype=np.int64)
+        t = float(self.clock[idx].max()) + seconds
+        self.clock[idx] = t
+        self.comm[idx] += seconds
+
+    def barrier(self, ranks: Sequence[int] | None = None) -> None:
+        """Synchronize without charging time."""
+        idx = (
+            np.arange(self.n_ranks)
+            if ranks is None
+            else np.fromiter(ranks, dtype=np.int64)
+        )
+        self.clock[idx] = self.clock[idx].max()
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def snapshot(self) -> PhaseTimes:
+        """Current (max-over-ranks) total/compute/comm times."""
+        return PhaseTimes(
+            total=float(self.clock.max()),
+            compute=float(self.compute.max()),
+            comm=float(self.comm.max()),
+        )
+
+    def mark_iteration(self) -> PhaseTimes:
+        """Record an iteration boundary; returns the delta since the
+        previous mark (or since start)."""
+        now = self.snapshot()
+        prev = (
+            self.iteration_marks[-1]
+            if self.iteration_marks
+            else PhaseTimes(0.0, 0.0, 0.0)
+        )
+        self.iteration_marks.append(now)
+        return now - prev
+
+    @property
+    def elapsed(self) -> float:
+        return float(self.clock.max())

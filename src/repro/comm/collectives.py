@@ -1,0 +1,234 @@
+"""NCCL-like collectives over simulated ranks.
+
+Each operation *really* moves/reduces NumPy data between per-rank
+buffers — so algorithm results are exact — while charging virtual time
+from the :class:`~repro.cluster.costmodel.CostModel` and recording
+message/byte counters.  Buffers are typically views into per-rank state
+arrays, so in-place assignment updates rank state directly, the way an
+NCCL collective writes into device memory.
+
+Supported reduction ops mirror what the paper's patterns need: ``sum``,
+``min``, ``max``, ``prod``, plus ``or``/``and`` on boolean state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..cluster.costmodel import CostModel
+from .clocks import VirtualClocks
+from .counters import CommCounters
+
+__all__ = ["BroadcastCall", "Communicator", "REDUCE_OPS"]
+
+REDUCE_OPS: dict[str, Callable[[np.ndarray], np.ndarray]] = {
+    "sum": lambda stacked: np.add.reduce(stacked, axis=0),
+    "min": lambda stacked: np.minimum.reduce(stacked, axis=0),
+    "max": lambda stacked: np.maximum.reduce(stacked, axis=0),
+    "prod": lambda stacked: np.multiply.reduce(stacked, axis=0),
+    "or": lambda stacked: np.logical_or.reduce(stacked, axis=0),
+    "and": lambda stacked: np.logical_and.reduce(stacked, axis=0),
+}
+
+
+@dataclass
+class BroadcastCall:
+    """One broadcast inside an aggregated NCCL group call.
+
+    ``src`` is the root's payload; ``dests`` are the destination views
+    (one per non-root group member) that receive a copy.
+    """
+
+    src: np.ndarray
+    dests: list[np.ndarray]
+
+
+class Communicator:
+    """Executes collectives with time/counter accounting."""
+
+    def __init__(
+        self,
+        costmodel: CostModel,
+        clocks: VirtualClocks,
+        counters: CommCounters | None = None,
+    ):
+        self.costmodel = costmodel
+        self.clocks = clocks
+        self.counters = counters if counters is not None else CommCounters()
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _check_group(ranks: Sequence[int], buffers: Sequence[np.ndarray]) -> None:
+        if len(ranks) != len(buffers):
+            raise ValueError(
+                f"{len(ranks)} ranks but {len(buffers)} buffers supplied"
+            )
+
+    # ------------------------------------------------------------------
+    # collectives
+    # ------------------------------------------------------------------
+    def allreduce(
+        self,
+        ranks: Sequence[int],
+        buffers: Sequence[np.ndarray],
+        op: str = "sum",
+        nic_sharing: int = 1,
+    ) -> None:
+        """In-place AllReduce: every buffer ends up holding the
+        element-wise reduction of all of them."""
+        self._check_group(ranks, buffers)
+        if op not in REDUCE_OPS:
+            raise ValueError(f"unknown op {op!r}; choose from {sorted(REDUCE_OPS)}")
+        k = len(ranks)
+        nbytes = buffers[0].nbytes if buffers else 0
+        if k > 1:
+            stacked = np.stack([np.asarray(b) for b in buffers])
+            result = REDUCE_OPS[op](stacked)
+            for b in buffers:
+                b[...] = result
+        t = self.costmodel.allreduce_time(ranks, nbytes, nic_sharing=nic_sharing)
+        self.clocks.sync_group(ranks, t)
+        self.counters.record(
+            "allreduce",
+            serial_messages=2 * (k - 1),
+            transfers=2 * k * (k - 1),
+            nbytes=2 * nbytes * (k - 1) if k > 1 else 0,
+        )
+
+    def broadcast(
+        self,
+        ranks: Sequence[int],
+        buffers: Sequence[np.ndarray],
+        root_pos: int,
+        nic_sharing: int = 1,
+    ) -> None:
+        """In-place Broadcast from ``buffers[root_pos]`` to the rest."""
+        self._check_group(ranks, buffers)
+        k = len(ranks)
+        if not 0 <= root_pos < k:
+            raise ValueError(f"root position {root_pos} out of range")
+        src = np.asarray(buffers[root_pos])
+        for i, b in enumerate(buffers):
+            if i != root_pos:
+                b[...] = src
+        t = self.costmodel.broadcast_time(ranks, src.nbytes, nic_sharing=nic_sharing)
+        self.clocks.sync_group(ranks, t)
+        self.counters.record(
+            "broadcast",
+            serial_messages=k - 1,
+            transfers=k - 1,
+            nbytes=src.nbytes * (k - 1) if k > 1 else 0,
+        )
+
+    def grouped_broadcast(
+        self,
+        ranks: Sequence[int],
+        calls: Sequence[BroadcastCall],
+        nic_sharing: int = 1,
+    ) -> None:
+        """Multiple broadcasts over one group in a single aggregated
+        launch (NCCL group call; paper §3.3.1 for the R != C case)."""
+        if not calls:
+            return
+        sizes = []
+        for call in calls:
+            src = np.asarray(call.src)
+            for dest in call.dests:
+                dest[...] = src
+            sizes.append(src.nbytes)
+        t = self.costmodel.grouped_broadcast_time(ranks, sizes, nic_sharing=nic_sharing)
+        self.clocks.sync_group(ranks, t)
+        k = len(ranks)
+        total_dests = sum(len(c.dests) for c in calls)
+        self.counters.record(
+            "grouped_broadcast",
+            serial_messages=(k - 1) if self.costmodel.profile.grouped_calls
+            else len(calls) * (k - 1),
+            transfers=total_dests,
+            nbytes=sum(
+                np.asarray(c.src).nbytes * len(c.dests) for c in calls
+            ),
+        )
+
+    def allgatherv(
+        self,
+        ranks: Sequence[int],
+        send_buffers: Sequence[np.ndarray],
+        nic_sharing: int = 1,
+    ) -> np.ndarray:
+        """Variable-size AllGather: every rank receives the
+        concatenation (in group-rank order) of all send buffers.
+
+        Implemented by the paper as an NCCL AllGather plus grouped
+        broadcasts; modeled here as one ring allgather over the total
+        payload.  Returns the concatenated array (identical on every
+        rank, so a single shared copy is returned).
+        """
+        self._check_group(ranks, send_buffers)
+        k = len(ranks)
+        arrays = [np.asarray(b) for b in send_buffers]
+        result = (
+            np.concatenate(arrays) if arrays else np.empty(0)
+        )
+        total = int(sum(a.nbytes for a in arrays))
+        t = self.costmodel.allgather_time(ranks, total, nic_sharing=nic_sharing)
+        self.clocks.sync_group(ranks, t)
+        self.counters.record(
+            "allgatherv",
+            serial_messages=k - 1,
+            transfers=k * (k - 1),
+            nbytes=total * (k - 1) if k > 1 else 0,
+        )
+        return result
+
+    def sendrecv(self, src_rank: int, dst_rank: int, payload: np.ndarray) -> np.ndarray:
+        """Point-to-point transfer; returns the received copy."""
+        payload = np.asarray(payload)
+        t = self.costmodel.sendrecv_time(src_rank, dst_rank, payload.nbytes)
+        self.clocks.sync_group([src_rank, dst_rank], t)
+        self.counters.record(
+            "sendrecv", serial_messages=1, transfers=1, nbytes=payload.nbytes
+        )
+        return payload.copy()
+
+    def alltoallv(
+        self,
+        ranks: Sequence[int],
+        send_matrix: Sequence[Sequence[np.ndarray]],
+        nic_sharing: int = 1,
+    ) -> list[np.ndarray]:
+        """All-to-all exchange for the 1D baseline engine.
+
+        ``send_matrix[i][j]`` is what group member ``i`` sends to group
+        member ``j``.  Returns, per member, the concatenation of
+        everything addressed to it.  Charged with the O(p^2)-message
+        model the paper ascribes to 1D distributions.
+        """
+        k = len(ranks)
+        if len(send_matrix) != k or any(len(row) != k for row in send_matrix):
+            raise ValueError("send_matrix must be k x k")
+        received: list[np.ndarray] = []
+        max_pair = 0
+        total = 0
+        for j in range(k):
+            parts = [np.asarray(send_matrix[i][j]) for i in range(k)]
+            received.append(
+                np.concatenate(parts) if parts else np.empty(0)
+            )
+            for p in parts:
+                total += p.nbytes
+                max_pair = max(max_pair, p.nbytes)
+        t = self.costmodel.alltoall_time(ranks, max_pair, nic_sharing=nic_sharing)
+        self.clocks.sync_group(ranks, t)
+        self.counters.record(
+            "alltoallv",
+            serial_messages=k * (k - 1),
+            transfers=k * (k - 1),
+            nbytes=total,
+        )
+        return received

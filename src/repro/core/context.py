@@ -1,0 +1,137 @@
+"""Per-rank execution context.
+
+A :class:`RankContext` bundles everything one simulated GPU rank owns:
+its graph block, its virtual device (memory ledger), and its named
+state arrays.  Algorithms allocate state through the context so every
+array is charged against device memory — which is how the simulator
+reproduces the paper's out-of-memory results at full-scale footprints.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..cluster.device import VirtualGPU
+from ..graph.partition.twod import RankBlock
+from ..queueing.frontier import expand_block
+
+__all__ = ["RankContext"]
+
+
+class RankContext:
+    """One rank's local world."""
+
+    def __init__(self, block: RankBlock, device: VirtualGPU):
+        self.block = block
+        self.device = device
+        self.arrays: dict[str, np.ndarray] = {}
+        self._local_degrees: Optional[np.ndarray] = None
+        # Charge the static graph structure, as the paper's loader does
+        # when moving the CSR to the GPU.
+        device.charge("graph.indptr", block.indptr.nbytes)
+        device.charge("graph.indices", block.indices.nbytes)
+        if block.weights is not None:
+            device.charge("graph.weights", block.weights.nbytes)
+
+    # ------------------------------------------------------------------
+    # identity / geometry shortcuts
+    # ------------------------------------------------------------------
+    @property
+    def rank(self) -> int:
+        return self.block.rank
+
+    @property
+    def localmap(self):
+        return self.block.localmap
+
+    @property
+    def n_total(self) -> int:
+        return self.block.n_total
+
+    @property
+    def row_slice(self) -> slice:
+        return self.block.localmap.row_slice
+
+    @property
+    def col_slice(self) -> slice:
+        return self.block.localmap.col_slice
+
+    def local_degrees(self) -> np.ndarray:
+        """Local degree of each row vertex (cached)."""
+        if self._local_degrees is None:
+            self._local_degrees = self.block.local_row_degrees()
+        return self._local_degrees
+
+    # ------------------------------------------------------------------
+    # state arrays
+    # ------------------------------------------------------------------
+    def alloc(
+        self,
+        name: str,
+        dtype=np.float64,
+        fill=0,
+        length: Optional[int] = None,
+    ) -> np.ndarray:
+        """Allocate (or re-initialize) a named state array.
+
+        By default the array spans the rank's full LID space
+        ``[0, N_T)``, the layout all communication patterns assume.
+        """
+        n = self.n_total if length is None else int(length)
+        if name in self.arrays and self.arrays[name].shape[0] == n and (
+            self.arrays[name].dtype == np.dtype(dtype)
+        ):
+            arr = self.arrays[name]
+            arr[...] = fill
+            return arr
+        if name in self.arrays:
+            self.free(name)
+        arr = np.full(n, fill, dtype=dtype)
+        self.device.charge(f"state.{name}", arr.nbytes)
+        self.arrays[name] = arr
+        return arr
+
+    def get(self, name: str) -> np.ndarray:
+        try:
+            return self.arrays[name]
+        except KeyError:
+            raise KeyError(
+                f"rank {self.rank} has no state array {name!r}; "
+                f"allocated: {sorted(self.arrays)}"
+            ) from None
+
+    def free(self, name: str) -> None:
+        if name in self.arrays:
+            del self.arrays[name]
+            self.device.release(f"state.{name}")
+
+    def has(self, name: str) -> bool:
+        return name in self.arrays
+
+    # ------------------------------------------------------------------
+    # graph access
+    # ------------------------------------------------------------------
+    def row_lids(self) -> np.ndarray:
+        return self.block.row_lids()
+
+    def col_lids(self) -> np.ndarray:
+        return self.block.col_lids()
+
+    def expand(self, row_lids: np.ndarray):
+        """Expand row vertices into (src_lid, dst_lid, weight) edges."""
+        return expand_block(self.block, row_lids)
+
+    def expand_all(self):
+        """Expand every local edge (dense iteration; cached — the CSR
+        is static, so the expansion is, too)."""
+        if not hasattr(self, "_expand_all_cache"):
+            self._expand_all_cache = expand_block(self.block, self.row_lids())
+        return self._expand_all_cache
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RankContext(rank={self.rank}, N_T={self.n_total}, "
+            f"edges={self.block.n_local_edges})"
+        )

@@ -1,0 +1,277 @@
+"""The BSP execution engine binding a partitioned graph to a cluster.
+
+An :class:`Engine` is the public entry point of the library: it
+partitions a graph over a 2D grid of simulated GPU ranks on a chosen
+machine, and provides the algorithms with
+
+* per-rank :class:`~repro.core.context.RankContext` objects,
+* a :class:`~repro.comm.collectives.Communicator` with virtual-time
+  accounting,
+* kernel charging that runs the Manhattan-collapse (or naive) schedule
+  through the machine's cost model.
+
+Typical usage::
+
+    from repro import Engine, algorithms
+    from repro.graph import rmat
+
+    engine = Engine(rmat(14), n_ranks=16)      # square 4x4 grid on AiMOS
+    result = algorithms.pagerank(engine, iterations=20)
+    print(result.timings.total, result.timings.comm_fraction)
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import numpy as np
+
+from ..cluster.config import AIMOS, ClusterConfig
+from ..cluster.costmodel import NCCL_PROFILE, CommProfile, CostModel
+from ..cluster.device import VirtualGPU
+from ..cluster.topology import Topology
+from ..comm.clocks import VirtualClocks
+from ..comm.collectives import Communicator
+from ..comm.counters import CommCounters
+from ..comm.grid import Grid2D, square_grid
+from ..graph.csr import Graph
+from ..graph.partition.twod import TwoDPartition, partition_2d
+from ..queueing.manhattan import manhattan_schedule, vertex_per_thread_balance
+from .context import RankContext
+from .result import TimingReport
+
+__all__ = ["Engine"]
+
+
+class Engine:
+    """Distributed 2D graph-processing engine over simulated GPUs.
+
+    Parameters
+    ----------
+    graph:
+        Input graph (treated as already symmetrized; see
+        :meth:`repro.graph.csr.Graph.from_edges`).
+    n_ranks:
+        Total GPUs; must be a perfect square unless ``grid`` is given.
+    grid:
+        Explicit ``Grid2D`` for non-square layouts (paper Fig. 7).
+    cluster:
+        Machine model (default AiMOS).
+    distribution:
+        Vertex-to-row-group distribution: ``"striped"`` (paper
+        default), ``"random"``, or ``"block"``.
+    profile:
+        Communication substrate profile; swap in ``GENERIC_PROFILE``
+        for the Gluon-like baseline.
+    load_balance:
+        ``"manhattan"`` (paper default) or ``"vertex"`` for the naive
+        per-thread expansion (used by the Fig. 6 ablation).
+    memory_scale:
+        Multiplier on modeled allocations, to account full-scale
+        dataset footprints while simulating a scaled stand-in.
+    enforce_memory:
+        Raise :class:`~repro.cluster.device.DeviceMemoryError` on
+        over-subscription instead of just recording it.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        n_ranks: Optional[int] = None,
+        grid: Optional[Grid2D] = None,
+        cluster: ClusterConfig = AIMOS,
+        distribution: str = "striped",
+        profile: CommProfile = NCCL_PROFILE,
+        load_balance: str = "manhattan",
+        memory_scale: float = 1.0,
+        enforce_memory: bool = False,
+        seed: int = 0,
+    ):
+        if grid is None:
+            if n_ranks is None:
+                raise ValueError("pass n_ranks or an explicit grid")
+            grid = square_grid(n_ranks)
+        elif n_ranks is not None and n_ranks != grid.n_ranks:
+            raise ValueError(
+                f"n_ranks={n_ranks} disagrees with grid ({grid.n_ranks} ranks)"
+            )
+        if load_balance not in ("manhattan", "vertex"):
+            raise ValueError("load_balance must be 'manhattan' or 'vertex'")
+
+        self.graph = graph
+        self.grid = grid
+        self.cluster = cluster
+        self.load_balance = load_balance
+        self.partition: TwoDPartition = partition_2d(
+            graph, grid, distribution=distribution, seed=seed
+        )
+        self.topology = Topology(cluster, grid.n_ranks)
+        self.costmodel = CostModel(cluster.gpu, self.topology, profile)
+        self.clocks = VirtualClocks(grid.n_ranks)
+        self.counters = CommCounters()
+        self.comm = Communicator(self.costmodel, self.clocks, self.counters)
+        self.contexts: list[RankContext] = [
+            RankContext(
+                block,
+                VirtualGPU(
+                    rank=block.rank,
+                    spec=cluster.gpu,
+                    scale_factor=memory_scale,
+                    enforce=enforce_memory,
+                ),
+            )
+            for block in self.partition.blocks
+        ]
+
+    # ------------------------------------------------------------------
+    # rank / group access
+    # ------------------------------------------------------------------
+    @property
+    def n_ranks(self) -> int:
+        return self.grid.n_ranks
+
+    def ctx(self, rank: int) -> RankContext:
+        return self.contexts[rank]
+
+    def __iter__(self) -> Iterator[RankContext]:
+        return iter(self.contexts)
+
+    def row_groups(self) -> Iterator[tuple[int, list[int]]]:
+        """Yield ``(ID_R, ranks)`` for every row group."""
+        for id_r in range(self.grid.C):
+            yield id_r, self.grid.row_group_ranks(id_r)
+
+    def col_groups(self) -> Iterator[tuple[int, list[int]]]:
+        """Yield ``(ID_C, ranks)`` for every column group."""
+        for id_c in range(self.grid.R):
+            yield id_c, self.grid.col_group_ranks(id_c)
+
+    def stage_nic_sharing(self, axis: str) -> int:
+        """NIC sharing when all groups of one axis communicate at once.
+
+        In a BSP stage every row (or column) group runs its collective
+        concurrently, so a node's NIC is shared by as many *distinct*
+        groups as have members on that node: the 6 consecutive ranks of
+        an AiMOS node belong to up to 6 different column groups (heavy
+        sharing) but usually to a single row group (row groups are
+        consecutive ranks).  This is why the paper's Fig. 7 advises
+        biasing the reduction direction toward fewer ranks.
+        """
+        if axis not in ("row", "col"):
+            raise ValueError(f"axis must be 'row' or 'col', got {axis!r}")
+        if not hasattr(self, "_stage_sharing"):
+            g = self.cluster.node.gpus_per_node
+            R = self.grid.R
+            sharing = {"row": 1, "col": 1}
+            for node in range(self.topology.n_nodes()):
+                members = [
+                    r for r in range(node * g, min((node + 1) * g, self.n_ranks))
+                ]
+                sharing["row"] = max(
+                    sharing["row"], len({r // R for r in members})
+                )
+                sharing["col"] = max(
+                    sharing["col"], len({r % R for r in members})
+                )
+            self._stage_sharing = sharing
+        return self._stage_sharing[axis]
+
+    # ------------------------------------------------------------------
+    # state helpers
+    # ------------------------------------------------------------------
+    def alloc(self, name: str, dtype=np.float64, fill=0) -> list[np.ndarray]:
+        """Allocate a state array on every rank; returns the list."""
+        return [ctx.alloc(name, dtype=dtype, fill=fill) for ctx in self.contexts]
+
+    def states(self, name: str) -> list[np.ndarray]:
+        return [ctx.get(name) for ctx in self.contexts]
+
+    def free(self, name: str) -> None:
+        for ctx in self.contexts:
+            ctx.free(name)
+
+    def scatter_global(self, name: str, vec: np.ndarray, dtype=None) -> list[np.ndarray]:
+        """Distribute a global per-vertex vector into a named state
+        array on every rank (row and column windows filled)."""
+        out = []
+        for ctx in self.contexts:
+            local = self.partition.scatter_global(vec, ctx.rank)
+            arr = ctx.alloc(name, dtype=dtype or local.dtype)
+            arr[...] = local
+            out.append(arr)
+        return out
+
+    def gather(self, name: str) -> np.ndarray:
+        """Collect a named state into a global original-order vector."""
+        return self.partition.gather_row_state(self.states(name))
+
+    # ------------------------------------------------------------------
+    # kernel charging
+    # ------------------------------------------------------------------
+    def charge_edges(
+        self,
+        rank: int,
+        queue_degrees: np.ndarray,
+        work_per_edge: float = 1.0,
+        extra_vertices: int = 0,
+        launches: int = 1,
+    ) -> None:
+        """Charge an edge-expansion kernel over a vertex queue.
+
+        The load-balance efficiency comes from the configured schedule
+        model (Manhattan collapse vs. naive vertex-per-thread).
+        """
+        if self.load_balance == "manhattan":
+            stats = manhattan_schedule(queue_degrees)
+        else:
+            stats = vertex_per_thread_balance(queue_degrees)
+        t = self.costmodel.kernel_time(
+            n_vertices=len(queue_degrees) + extra_vertices,
+            n_edges=stats.total_edges,
+            work_per_edge=work_per_edge,
+            balance=stats.balance,
+            launches=launches,
+        )
+        self.clocks.add_compute(rank, t)
+
+    def charge_vertices(self, rank: int, n_vertices: int, launches: int = 1) -> None:
+        """Charge a per-vertex kernel (queue builds, initialization)."""
+        t = self.costmodel.kernel_time(
+            n_vertices=n_vertices, launches=launches
+        )
+        self.clocks.add_compute(rank, t)
+
+    # ------------------------------------------------------------------
+    # timing
+    # ------------------------------------------------------------------
+    def reset_timers(self) -> None:
+        """Zero all clocks and counters (before a timed run)."""
+        self.clocks = VirtualClocks(self.n_ranks)
+        self.counters = CommCounters()
+        self.comm = Communicator(self.costmodel, self.clocks, self.counters)
+
+    def timing_report(self) -> TimingReport:
+        snap = self.clocks.snapshot()
+        # per-iteration deltas from the cumulative marks
+        marks = self.clocks.iteration_marks
+        deltas = []
+        prev = None
+        for m in marks:
+            deltas.append(m if prev is None else m - prev)
+            prev = m
+        return TimingReport(
+            total=snap.total,
+            compute=snap.compute,
+            comm=snap.comm,
+            per_iteration=tuple(deltas),
+        )
+
+    def memory_report(self) -> dict[int, float]:
+        """Peak modeled memory utilization per rank."""
+        return {ctx.rank: ctx.device.utilization() for ctx in self.contexts}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Engine({self.grid}, cluster={self.cluster.name}, "
+            f"N={self.graph.n_vertices}, M={self.graph.n_edges})"
+        )

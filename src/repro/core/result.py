@@ -1,0 +1,73 @@
+"""Result containers returned by distributed algorithm runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import numpy as np
+
+from ..comm.clocks import PhaseTimes
+
+__all__ = ["TimingReport", "AlgorithmResult"]
+
+
+@dataclass(frozen=True)
+class TimingReport:
+    """Virtual-time accounting of one run.
+
+    All values are modeled seconds on the configured machine, reported
+    the way the paper reports them: the maximum over all ranks.
+    """
+
+    total: float
+    compute: float
+    comm: float
+    per_iteration: tuple[PhaseTimes, ...] = ()
+
+    @property
+    def comm_fraction(self) -> float:
+        """Share of total time spent communicating (paper Fig. 5)."""
+        return self.comm / self.total if self.total > 0 else 0.0
+
+    def teps(self, n_edges: int) -> float:
+        """Traversed edges per second for an ``n_edges`` input."""
+        return n_edges / self.total if self.total > 0 else float("inf")
+
+    @classmethod
+    def from_phase(
+        cls, phase: PhaseTimes, per_iteration: tuple[PhaseTimes, ...] = ()
+    ) -> "TimingReport":
+        return cls(
+            total=phase.total,
+            compute=phase.compute,
+            comm=phase.comm,
+            per_iteration=per_iteration,
+        )
+
+
+@dataclass
+class AlgorithmResult:
+    """Output of a distributed algorithm.
+
+    Attributes
+    ----------
+    values:
+        Per-vertex result in *original* GID order (parents, ranks,
+        labels, ...).  ``None`` for algorithms whose output is a
+        structure (e.g. a matching edge list in ``extra``).
+    timings:
+        Virtual-time report.
+    iterations:
+        BSP iterations executed.
+    counters:
+        Communication statistics summary.
+    extra:
+        Algorithm-specific payload (e.g. matched pairs, modularity).
+    """
+
+    values: Optional[np.ndarray]
+    timings: TimingReport
+    iterations: int
+    counters: dict[str, dict[str, int]] = field(default_factory=dict)
+    extra: dict[str, Any] = field(default_factory=dict)

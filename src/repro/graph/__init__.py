@@ -1,0 +1,67 @@
+"""Graph data structures, generators, datasets, and partitioners."""
+
+from .csr import Graph
+from .datasets import REGISTRY, DatasetMeta, LoadedDataset, available, load
+from .generators import (
+    chung_lu_powerlaw,
+    erdos_renyi_gnm,
+    grid_graph,
+    path_graph,
+    rmat,
+    rmat_edges,
+    star_graph,
+    web_graph,
+)
+from .io import (
+    read_edge_list,
+    read_matrix_market,
+    write_edge_list,
+    write_matrix_market,
+)
+from .localmap import LocalMap
+from .transforms import (
+    cap_degrees,
+    induced_subgraph,
+    kcore_subgraph,
+    largest_component,
+)
+from .partition.striped import (
+    block_permutation,
+    group_ranges,
+    random_permutation,
+    striped_permutation,
+)
+from .partition.twod import RankBlock, TwoDPartition, partition_2d
+
+__all__ = [
+    "Graph",
+    "REGISTRY",
+    "DatasetMeta",
+    "LoadedDataset",
+    "available",
+    "load",
+    "chung_lu_powerlaw",
+    "erdos_renyi_gnm",
+    "grid_graph",
+    "path_graph",
+    "rmat",
+    "rmat_edges",
+    "star_graph",
+    "web_graph",
+    "read_edge_list",
+    "read_matrix_market",
+    "write_edge_list",
+    "write_matrix_market",
+    "LocalMap",
+    "block_permutation",
+    "group_ranges",
+    "random_permutation",
+    "striped_permutation",
+    "cap_degrees",
+    "induced_subgraph",
+    "kcore_subgraph",
+    "largest_component",
+    "RankBlock",
+    "TwoDPartition",
+    "partition_2d",
+]

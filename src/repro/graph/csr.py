@@ -1,0 +1,266 @@
+"""Compressed sparse row graph container.
+
+This is the in-memory form the paper builds on CPU before distribution
+(paper §3.1-3.2): an adjacency array ``Adj`` and an offsets array
+``Off``; the adjacencies of vertex ``v`` live in
+``Adj[Off[v]:Off[v+1]]`` and its degree is ``Off[v+1] - Off[v]``.
+
+Edge counts follow the paper's convention: ``M = len(Adj)`` is the
+number of *stored directed* edges.  The paper treats all inputs as
+undirected by symmetrizing the adjacency matrix (paper §5), which
+:func:`Graph.from_edges` does by default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["Graph"]
+
+VERTEX_DTYPE = np.int64
+WEIGHT_DTYPE = np.float64
+
+
+@dataclass
+class Graph:
+    """A graph in CSR form.
+
+    Attributes
+    ----------
+    indptr:
+        Offsets array ``Off`` of length ``N + 1``.
+    indices:
+        Adjacency array ``Adj`` of length ``M``.
+    weights:
+        Optional per-edge weights, aligned with ``indices``.
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    weights: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        self.indptr = np.ascontiguousarray(self.indptr, dtype=VERTEX_DTYPE)
+        self.indices = np.ascontiguousarray(self.indices, dtype=VERTEX_DTYPE)
+        if self.weights is not None:
+            self.weights = np.ascontiguousarray(self.weights, dtype=WEIGHT_DTYPE)
+            if self.weights.shape != self.indices.shape:
+                raise ValueError(
+                    f"weights length {self.weights.shape} does not match "
+                    f"indices length {self.indices.shape}"
+                )
+        if self.indptr.ndim != 1 or self.indptr.size < 1:
+            raise ValueError("indptr must be a 1-D array of length N+1")
+        if self.indptr[0] != 0 or self.indptr[-1] != self.indices.size:
+            raise ValueError("indptr must start at 0 and end at len(indices)")
+        if np.any(np.diff(self.indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        if self.indices.size and (
+            self.indices.min() < 0 or self.indices.max() >= self.n_vertices
+        ):
+            raise ValueError("adjacency targets out of range")
+
+    # ------------------------------------------------------------------
+    # properties
+    # ------------------------------------------------------------------
+    @property
+    def n_vertices(self) -> int:
+        """Global vertex count ``N``."""
+        return self.indptr.size - 1
+
+    @property
+    def n_edges(self) -> int:
+        """Stored directed edge count ``M``."""
+        return self.indices.size
+
+    @property
+    def is_weighted(self) -> bool:
+        return self.weights is not None
+
+    def degrees(self) -> np.ndarray:
+        """Out-degree of every vertex."""
+        return np.diff(self.indptr)
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Adjacency view (not a copy) for vertex ``v``."""
+        return self.indices[self.indptr[v] : self.indptr[v + 1]]
+
+    def edge_weights(self, v: int) -> np.ndarray:
+        if self.weights is None:
+            raise ValueError("graph is unweighted")
+        return self.weights[self.indptr[v] : self.indptr[v + 1]]
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        src: np.ndarray,
+        dst: np.ndarray,
+        n_vertices: int,
+        weights: Optional[np.ndarray] = None,
+        symmetrize: bool = True,
+        remove_self_loops: bool = True,
+        dedup: bool = True,
+    ) -> "Graph":
+        """Build a CSR graph from an edge list.
+
+        ``symmetrize=True`` mirrors the paper's treatment of inputs as
+        undirected.  Duplicate edges are merged (keeping the maximum
+        weight, so symmetrization of a weighted digraph stays
+        symmetric).
+        """
+        src = np.asarray(src, dtype=VERTEX_DTYPE)
+        dst = np.asarray(dst, dtype=VERTEX_DTYPE)
+        if src.shape != dst.shape:
+            raise ValueError("src and dst must have the same length")
+        if src.size and (
+            min(src.min(), dst.min()) < 0
+            or max(src.max(), dst.max()) >= n_vertices
+        ):
+            raise ValueError("edge endpoints out of range")
+        if weights is not None:
+            weights = np.asarray(weights, dtype=WEIGHT_DTYPE)
+            if weights.shape != src.shape:
+                raise ValueError("weights must align with edges")
+
+        if remove_self_loops:
+            keep = src != dst
+            src, dst = src[keep], dst[keep]
+            if weights is not None:
+                weights = weights[keep]
+        if symmetrize:
+            src, dst = np.concatenate([src, dst]), np.concatenate([dst, src])
+            if weights is not None:
+                weights = np.concatenate([weights, weights])
+
+        data = weights if weights is not None else np.ones(src.size, dtype=WEIGHT_DTYPE)
+        mat = sp.coo_matrix(
+            (data, (src, dst)), shape=(n_vertices, n_vertices)
+        )
+        if dedup:
+            # Merge duplicates keeping the max weight: COO->CSR sums, so
+            # dedup by sorting instead when weighted.
+            if weights is not None:
+                order = np.lexsort((dst, src))
+                s, d, w = src[order], dst[order], data[order]
+                if s.size:
+                    # within runs of equal (s, d), keep the max weight
+                    key_change = np.empty(s.size, dtype=bool)
+                    key_change[0] = True
+                    key_change[1:] = (s[1:] != s[:-1]) | (d[1:] != d[:-1])
+                    group_id = np.cumsum(key_change) - 1
+                    wmax = np.full(group_id[-1] + 1, -np.inf)
+                    np.maximum.at(wmax, group_id, w)
+                    s, d = s[key_change], d[key_change]
+                    w = wmax
+                mat = sp.csr_matrix(
+                    (w, (s, d)), shape=(n_vertices, n_vertices)
+                )
+            else:
+                mat = mat.tocsr()
+                mat.sum_duplicates()
+                mat.data[:] = 1.0
+        else:
+            mat = mat.tocsr()
+        mat.sort_indices()
+        return cls(
+            indptr=mat.indptr.astype(VERTEX_DTYPE),
+            indices=mat.indices.astype(VERTEX_DTYPE),
+            weights=mat.data.astype(WEIGHT_DTYPE) if weights is not None else None,
+        )
+
+    @classmethod
+    def from_scipy(cls, mat: sp.spmatrix, weighted: bool = False) -> "Graph":
+        """Wrap a scipy sparse matrix (rows are adjacency lists)."""
+        csr = mat.tocsr()
+        csr.sort_indices()
+        return cls(
+            indptr=csr.indptr.astype(VERTEX_DTYPE),
+            indices=csr.indices.astype(VERTEX_DTYPE),
+            weights=csr.data.astype(WEIGHT_DTYPE) if weighted else None,
+        )
+
+    def to_scipy(self) -> sp.csr_matrix:
+        """Export as a scipy CSR matrix (weights default to 1.0).
+
+        The data array is a *copy* so callers may freely mutate the
+        matrix (a common scipy idiom) without corrupting the graph's
+        weights.
+        """
+        data = (
+            self.weights.copy()
+            if self.weights is not None
+            else np.ones(self.n_edges, dtype=WEIGHT_DTYPE)
+        )
+        n = self.n_vertices
+        return sp.csr_matrix((data, self.indices, self.indptr), shape=(n, n))
+
+    # ------------------------------------------------------------------
+    # transforms
+    # ------------------------------------------------------------------
+    def permute(self, perm: np.ndarray) -> "Graph":
+        """Relabel vertices: vertex ``v`` becomes ``perm[v]``.
+
+        Used to apply the striped distribution permutation before 2D
+        blocking (paper §3.4.2).
+        """
+        perm = np.asarray(perm, dtype=VERTEX_DTYPE)
+        n = self.n_vertices
+        if perm.shape != (n,):
+            raise ValueError(f"perm must have shape ({n},)")
+        check = np.zeros(n, dtype=bool)
+        check[perm] = True
+        if not check.all():
+            raise ValueError("perm is not a permutation")
+        src = np.repeat(np.arange(n, dtype=VERTEX_DTYPE), self.degrees())
+        new_src = perm[src]
+        new_dst = perm[self.indices]
+        return Graph.from_edges(
+            new_src,
+            new_dst,
+            n,
+            weights=self.weights,
+            symmetrize=False,
+            remove_self_loops=False,
+            dedup=False,
+        )
+
+    def with_random_weights(self, seed: int = 0, low: float = 0.0, high: float = 1.0) -> "Graph":
+        """Attach symmetric random edge weights (for MWM experiments).
+
+        Weight of edge {u, v} is a hash-style function of the unordered
+        pair, so both stored directions agree.
+        """
+        n = self.n_vertices
+        src = np.repeat(np.arange(n, dtype=VERTEX_DTYPE), self.degrees())
+        dst = self.indices
+        lo = np.minimum(src, dst)
+        hi = np.maximum(src, dst)
+        # SplitMix64-style mixing of the pair key for reproducible,
+        # direction-independent weights.
+        key = (
+            lo.astype(np.uint64) * np.uint64(0x9E3779B97F4A7C15)
+            + hi.astype(np.uint64)
+            + np.uint64(seed)
+        )
+        key ^= key >> np.uint64(30)
+        key *= np.uint64(0xBF58476D1CE4E5B9)
+        key ^= key >> np.uint64(27)
+        key *= np.uint64(0x94D049BB133111EB)
+        key ^= key >> np.uint64(31)
+        u = key.astype(np.float64) / float(2**64)
+        return Graph(
+            indptr=self.indptr.copy(),
+            indices=self.indices.copy(),
+            weights=low + (high - low) * u,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        w = ", weighted" if self.is_weighted else ""
+        return f"Graph(N={self.n_vertices}, M={self.n_edges}{w})"

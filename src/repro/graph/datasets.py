@@ -1,0 +1,136 @@
+"""Dataset registry: paper Table 4 inputs and scaled stand-ins.
+
+The paper's real inputs (twitter-2010 through the 128-billion-edge
+WDC12 crawl) are multi-terabyte downloads that cannot be shipped or
+held here.  Each registry entry records the *full-size* metadata from
+Table 4 — used by the memory-feasibility model and the full-scale
+projections — and a generator recipe producing a scaled stand-in with
+matched degree-distribution character:
+
+* social networks (TW, FR): Chung-Lu power-law, moderate skew;
+* web crawls (CW, GSH, WDC): Chung-Lu power-law, heavier skew and
+  higher edge factor;
+* RMATxx / RANDxx: generated exactly as in the paper (Graph500 R-MAT
+  parameters / Erdos-Renyi G(n, m)), just at reduced scale.
+
+Every load records the linear scale factor so experiment reports can
+state "paper size vs. simulated size" (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .csr import Graph
+from .generators import chung_lu_powerlaw, erdos_renyi_gnm, rmat, web_graph
+
+__all__ = ["DatasetMeta", "LoadedDataset", "REGISTRY", "load", "available"]
+
+
+@dataclass(frozen=True)
+class DatasetMeta:
+    """Table 4 row: full-size facts about a paper input."""
+
+    name: str
+    abbr: str
+    n_vertices: int
+    n_edges: int  # directed stored edges as reported in Table 4
+    kind: str  # "social" | "web" | "rmat" | "rand"
+    gamma: float = 2.2  # power-law exponent for the stand-in
+
+
+@dataclass(frozen=True)
+class LoadedDataset:
+    """A stand-in graph plus provenance."""
+
+    graph: Graph
+    meta: DatasetMeta
+    scale_factor: float  # full-size edges / stand-in stored edges
+
+    @property
+    def note(self) -> str:
+        return (
+            f"{self.meta.abbr}: stand-in N={self.graph.n_vertices} "
+            f"M={self.graph.n_edges} for paper N={self.meta.n_vertices} "
+            f"M={self.meta.n_edges} (scale factor {self.scale_factor:.3g}x)"
+        )
+
+
+REGISTRY: dict[str, DatasetMeta] = {
+    "TW": DatasetMeta("twitter-2010", "TW", 41_000_000, 1_400_000_000, "social", 2.0),
+    "FR": DatasetMeta("com-friendster", "FR", 65_000_000, 1_800_000_000, "social", 2.5),
+    "CW": DatasetMeta("web-ClueWeb09", "CW", 1_700_000_000, 7_900_000_000, "web", 2.1),
+    "GSH": DatasetMeta("gsh-2015", "GSH", 988_000_000, 33_000_000_000, "web", 1.9),
+    "WDC": DatasetMeta("WDC12", "WDC", 3_500_000_000, 128_000_000_000, "web", 1.9),
+}
+
+
+def available() -> list[str]:
+    """Abbreviations of the registered real inputs."""
+    return sorted(REGISTRY)
+
+
+def _standin_shape(meta: DatasetMeta, target_edges: int) -> tuple[int, int]:
+    """Vertex/edge-slot counts for a stand-in of roughly ``target_edges``
+    stored edges, preserving the input's edge factor ``M / N``."""
+    edge_factor = max(meta.n_edges / meta.n_vertices, 2.0)
+    n = max(int(target_edges / edge_factor), 64)
+    # Chung-Lu slots symmetrize to ~2 slots stored edges; aim for target.
+    m_slots = max(target_edges // 2, n)
+    return n, m_slots
+
+
+def load(
+    abbr: str,
+    target_edges: int = 1 << 17,
+    seed: int = 0,
+    weighted: bool = False,
+) -> LoadedDataset:
+    """Build a scaled stand-in for a registered input.
+
+    Parameters
+    ----------
+    abbr:
+        Table 4 abbreviation (``"TW"``, ``"FR"``, ``"CW"``, ``"GSH"``,
+        ``"WDC"``), or ``"RMATxx"`` / ``"RANDxx"`` with a scale suffix.
+    target_edges:
+        Approximate stored (directed) edge count of the stand-in.
+    weighted:
+        Attach reproducible symmetric edge weights (for MWM).
+    """
+    key = abbr.upper()
+    if key.startswith("RMAT") or key.startswith("RAND"):
+        scale = int(key[4:])
+        meta = DatasetMeta(
+            name=key.lower(),
+            abbr=key,
+            n_vertices=1 << scale,
+            n_edges=16 << scale,
+            kind="rmat" if key.startswith("RMAT") else "rand",
+        )
+        # Choose the generated scale to hit target_edges (ef=16 slots).
+        gen_scale = scale
+        while (16 << gen_scale) > target_edges and gen_scale > 6:
+            gen_scale -= 1
+        if key.startswith("RMAT"):
+            g = rmat(gen_scale, seed=seed)
+        else:
+            g = erdos_renyi_gnm(1 << gen_scale, 16 << gen_scale, seed=seed)
+    else:
+        try:
+            meta = REGISTRY[key]
+        except KeyError:
+            raise ValueError(
+                f"unknown dataset {abbr!r}; known: {available()} or RMATxx/RANDxx"
+            ) from None
+        n, m_slots = _standin_shape(meta, target_edges)
+        if meta.kind == "web":
+            # Crawl graphs carry pendant chains (long convergence
+            # tails) on top of the power-law core.
+            g = web_graph(n, m_slots, gamma=meta.gamma, seed=seed)
+        else:
+            g = chung_lu_powerlaw(n, m_slots, gamma=meta.gamma, seed=seed)
+    if weighted:
+        g = g.with_random_weights(seed=seed + 1)
+    scale_factor = meta.n_edges / max(g.n_edges, 1)
+    return LoadedDataset(graph=g, meta=meta, scale_factor=scale_factor)

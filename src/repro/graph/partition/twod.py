@@ -1,0 +1,266 @@
+"""2D block partitioning of a graph onto a process grid (paper §3.2).
+
+Pipeline:
+
+1. relabel vertices with a distribution permutation (striped by
+   default) so each row group owns a contiguous new-GID range;
+2. split the relabeled adjacency matrix into ``C`` block-rows x ``R``
+   block-columns;
+3. store each block as a local CSR whose rows are indexed by row-local
+   position and whose adjacency entries are *column local IDs* per the
+   rank's arithmetic :class:`~repro.graph.localmap.LocalMap`.
+
+A rank's local degree of a vertex is generally *not* its true degree;
+true degrees are the sum of local degrees across the row group (paper
+§3.2), which :meth:`TwoDPartition.local_row_degrees` + a row-group
+AllReduce recovers (exercised in tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ...comm.grid import Grid2D
+from ..csr import Graph
+from ..localmap import LocalMap
+from .striped import (
+    block_permutation,
+    group_ranges,
+    random_permutation,
+    striped_permutation,
+)
+
+__all__ = ["RankBlock", "TwoDPartition", "partition_2d"]
+
+_DISTRIBUTIONS = {
+    "striped": striped_permutation,
+    "random": random_permutation,
+    "block": block_permutation,
+}
+
+
+@dataclass
+class RankBlock:
+    """One rank's share of the 2D-partitioned graph.
+
+    ``indptr`` is indexed by *row-local position* (``0..N_R``); add
+    ``localmap.row_offset`` to get the row vertex's LID.  ``indices``
+    holds column-vertex LIDs.
+    """
+
+    rank: int
+    id_r: int
+    id_c: int
+    localmap: LocalMap
+    indptr: np.ndarray
+    indices: np.ndarray
+    weights: Optional[np.ndarray] = None
+
+    @property
+    def n_local_edges(self) -> int:
+        return self.indices.size
+
+    @property
+    def n_total(self) -> int:
+        """``N_T``: length of this rank's state arrays."""
+        return self.localmap.n_total
+
+    def local_row_degrees(self) -> np.ndarray:
+        """Local degree of each row vertex (row-local order)."""
+        return np.diff(self.indptr)
+
+    def row_lids(self) -> np.ndarray:
+        """LIDs of the rank's row vertices."""
+        lm = self.localmap
+        return np.arange(lm.row_offset, lm.row_offset + lm.n_row, dtype=np.int64)
+
+    def col_lids(self) -> np.ndarray:
+        """LIDs of the rank's column vertices."""
+        lm = self.localmap
+        return np.arange(lm.col_offset, lm.col_offset + lm.n_col, dtype=np.int64)
+
+
+@dataclass
+class TwoDPartition:
+    """A graph distributed over a :class:`Grid2D`.
+
+    ``perm`` maps original GIDs to relabeled GIDs; all block structures
+    and all state vectors produced by the engine live in relabeled GID
+    order until results are mapped back via :meth:`to_original_order`.
+    """
+
+    grid: Grid2D
+    n_vertices: int
+    n_edges: int
+    row_offsets: np.ndarray  # C + 1 boundaries of block-row GID ranges
+    col_offsets: np.ndarray  # R + 1 boundaries of block-col GID ranges
+    perm: np.ndarray
+    blocks: list[RankBlock]
+    weighted: bool = False
+    distribution: str = "striped"
+
+    # ------------------------------------------------------------------
+    # ranges
+    # ------------------------------------------------------------------
+    def row_range(self, id_r: int) -> tuple[int, int]:
+        """Relabeled-GID range owned by row group ``id_r``."""
+        return int(self.row_offsets[id_r]), int(self.row_offsets[id_r + 1])
+
+    def col_range(self, id_c: int) -> tuple[int, int]:
+        """Relabeled-GID range ghosted by column group ``id_c``."""
+        return int(self.col_offsets[id_c]), int(self.col_offsets[id_c + 1])
+
+    def block(self, rank: int) -> RankBlock:
+        return self.blocks[rank]
+
+    # ------------------------------------------------------------------
+    # distributing / collecting global vectors
+    # ------------------------------------------------------------------
+    def scatter_global(self, vec: np.ndarray, rank: int) -> np.ndarray:
+        """A rank's local view (length ``N_T``) of a global vector.
+
+        ``vec`` must be in *original* GID order; the result is indexed
+        by the rank's LIDs, with both row and column windows filled.
+        """
+        vec = np.asarray(vec)
+        if vec.shape[0] != self.n_vertices:
+            raise ValueError("global vector has wrong length")
+        relabeled = np.empty_like(vec)
+        relabeled[self.perm] = vec
+        blk = self.blocks[rank]
+        lm = blk.localmap
+        local = np.zeros(lm.n_total, dtype=vec.dtype)
+        local[lm.row_slice] = relabeled[lm.row_start : lm.row_stop]
+        local[lm.col_slice] = relabeled[lm.col_start : lm.col_stop]
+        return local
+
+    def gather_row_state(self, states: list[np.ndarray]) -> np.ndarray:
+        """Assemble the global state vector from per-rank states.
+
+        Takes the row window of the first rank of each row group (all
+        ranks in a group are consistent after an algorithm finishes —
+        validated by tests) and maps back to original GID order.
+        """
+        out = None
+        for id_r in range(self.grid.C):
+            rank = self.grid.rank_of(id_r, 0)
+            blk = self.blocks[rank]
+            lm = blk.localmap
+            piece = states[rank][lm.row_slice]
+            if out is None:
+                out = np.zeros(self.n_vertices, dtype=piece.dtype)
+            out[lm.row_start : lm.row_stop] = piece
+        assert out is not None
+        return self.to_original_order(out)
+
+    def to_original_order(self, relabeled_vec: np.ndarray) -> np.ndarray:
+        """Convert a relabeled-GID-ordered vector to original GID order."""
+        return np.asarray(relabeled_vec)[self.perm]
+
+    def to_relabeled_order(self, original_vec: np.ndarray) -> np.ndarray:
+        """Convert an original-GID-ordered vector to relabeled order."""
+        original_vec = np.asarray(original_vec)
+        out = np.empty_like(original_vec)
+        out[self.perm] = original_vec
+        return out
+
+    def original_gid(self, relabeled: np.ndarray) -> np.ndarray:
+        """Original GIDs of relabeled GIDs (inverse permutation)."""
+        if not hasattr(self, "_inv_perm"):
+            inv = np.empty(self.n_vertices, dtype=np.int64)
+            inv[self.perm] = np.arange(self.n_vertices, dtype=np.int64)
+            self._inv_perm = inv
+        return self._inv_perm[np.asarray(relabeled)]
+
+    # ------------------------------------------------------------------
+    # sanity
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check the blocks partition exactly the relabeled edge set."""
+        total = sum(b.n_local_edges for b in self.blocks)
+        if total != self.n_edges:
+            raise AssertionError(
+                f"blocks hold {total} edges, graph has {self.n_edges}"
+            )
+        for blk in self.blocks:
+            lm = blk.localmap
+            if blk.indptr.size != lm.n_row + 1:
+                raise AssertionError(f"rank {blk.rank}: bad indptr length")
+            if blk.indices.size:
+                lo, hi = blk.indices.min(), blk.indices.max()
+                if lo < lm.col_offset or hi >= lm.col_offset + lm.n_col:
+                    raise AssertionError(f"rank {blk.rank}: adjacency LID out of range")
+
+
+def partition_2d(
+    graph: Graph,
+    grid: Grid2D,
+    distribution: str = "striped",
+    seed: int = 0,
+) -> TwoDPartition:
+    """Distribute ``graph`` over ``grid`` (see module docstring).
+
+    Parameters
+    ----------
+    distribution:
+        ``"striped"`` (paper default), ``"random"``, or ``"block"``.
+    """
+    try:
+        perm_fn = _DISTRIBUTIONS[distribution]
+    except KeyError:
+        raise ValueError(
+            f"unknown distribution {distribution!r}; "
+            f"choose from {sorted(_DISTRIBUTIONS)}"
+        ) from None
+    n = graph.n_vertices
+    if distribution == "random":
+        perm = perm_fn(n, grid.C, seed=seed)
+    else:
+        perm = perm_fn(n, grid.C)
+
+    relabeled = graph.permute(perm) if not np.array_equal(
+        perm, np.arange(n)
+    ) else graph
+    mat = relabeled.to_scipy()
+
+    row_offsets = group_ranges(n, grid.C)
+    col_offsets = group_ranges(n, grid.R)
+
+    blocks: list[RankBlock] = []
+    for id_r in range(grid.C):
+        rs, re = int(row_offsets[id_r]), int(row_offsets[id_r + 1])
+        slab = mat[rs:re]
+        for id_c in range(grid.R):
+            cs, ce = int(col_offsets[id_c]), int(col_offsets[id_c + 1])
+            block = slab[:, cs:ce].tocsr()
+            block.sort_indices()
+            lm = LocalMap(row_start=rs, row_stop=re, col_start=cs, col_stop=ce)
+            indices = block.indices.astype(np.int64) + lm.col_offset
+            blocks.append(
+                RankBlock(
+                    rank=grid.rank_of(id_r, id_c),
+                    id_r=id_r,
+                    id_c=id_c,
+                    localmap=lm,
+                    indptr=block.indptr.astype(np.int64),
+                    indices=indices,
+                    weights=block.data.copy() if graph.is_weighted else None,
+                )
+            )
+    blocks.sort(key=lambda b: b.rank)
+    part = TwoDPartition(
+        grid=grid,
+        n_vertices=n,
+        n_edges=relabeled.n_edges,
+        row_offsets=row_offsets,
+        col_offsets=col_offsets,
+        perm=perm,
+        blocks=blocks,
+        weighted=graph.is_weighted,
+        distribution=distribution,
+    )
+    part.validate()
+    return part

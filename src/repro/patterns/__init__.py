@@ -1,0 +1,23 @@
+"""2D communication patterns: dense, sparse, switching, complex."""
+
+from .dense import dense_exchange, dense_pull, dense_push
+from .sparse import (
+    PAIR_DTYPE,
+    SparseResult,
+    propagate_active_pull,
+    sparse_pull,
+    sparse_push,
+)
+from .switching import SwitchPolicy
+
+__all__ = [
+    "dense_exchange",
+    "dense_pull",
+    "dense_push",
+    "PAIR_DTYPE",
+    "SparseResult",
+    "propagate_active_pull",
+    "sparse_pull",
+    "sparse_push",
+    "SwitchPolicy",
+]

@@ -1,0 +1,151 @@
+"""Dense 2D communication pattern (paper §3.3.1, Alg. 2, Fig. 2).
+
+Dense exchanges communicate *every* vertex state along the groups,
+whether or not it changed:
+
+* **push** — AllReduce over each *column* group (combining all pushed
+  contributions to each ghost vertex, whose matrix column spans the
+  column group) followed by Broadcasts over each *row* group to give
+  owners the final values;
+* **pull** — AllReduce over each *row* group (combining the partial
+  gathers of each owned vertex, whose matrix row spans the row group)
+  followed by Broadcasts over each *column* group to refresh ghosts.
+
+When ``R == C``, the broadcast root in each group is the diagonal rank
+(its row and column GID ranges coincide).  When ``R != C``, a group
+needs several broadcasts — one per overlapping range — which the paper
+aggregates into one NCCL group call; :func:`_overlap_broadcasts`
+computes exactly those overlap segments for any grid shape.
+
+Because local IDs of a group are consecutive (paper Table 2), every
+transfer here is a contiguous state-array slice: the whole exchange
+needs only offsets and lengths, no index buffers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..comm.collectives import BroadcastCall
+from ..core.engine import Engine
+
+__all__ = ["dense_push", "dense_pull", "dense_exchange"]
+
+
+def _col_views(engine: Engine, ranks, name: str) -> list[np.ndarray]:
+    return [engine.ctx(r).get(name)[engine.ctx(r).col_slice] for r in ranks]
+
+
+def _row_views(engine: Engine, ranks, name: str) -> list[np.ndarray]:
+    return [engine.ctx(r).get(name)[engine.ctx(r).row_slice] for r in ranks]
+
+
+def _overlap_broadcasts(
+    engine: Engine, name: str, along: str, group_id: int
+) -> tuple[list[int], list[BroadcastCall]]:
+    """Broadcast calls distributing reduced values across one group.
+
+    ``along="row"``: within row group ``group_id``, each rank holding a
+    column range that overlaps the group's row range roots a broadcast
+    of that overlap into everyone's *row* window (push second phase).
+
+    ``along="col"``: within column group ``group_id``, each rank whose
+    row range overlaps the group's column range roots a broadcast into
+    everyone's *col* window (pull second phase).
+    """
+    part, grid = engine.partition, engine.grid
+    calls: list[BroadcastCall] = []
+    if along == "row":
+        ranks = grid.row_group_ranks(group_id)
+        gs, ge = part.row_range(group_id)
+        for id_c in range(grid.R):
+            cs, ce = part.col_range(id_c)
+            lo, hi = max(gs, cs), min(ge, ce)
+            if lo >= hi:
+                continue
+            root = grid.rank_of(group_id, id_c)
+            lm_root = engine.ctx(root).localmap
+            src = engine.ctx(root).get(name)[
+                lm_root.col_offset + (lo - cs) : lm_root.col_offset + (hi - cs)
+            ]
+            dests = []
+            for r in ranks:
+                if r == root:
+                    # Overlap GIDs share one LID on the root (its map
+                    # Type is 1/2 there), so its row window already
+                    # holds the reduced values.
+                    continue
+                lm = engine.ctx(r).localmap
+                dests.append(
+                    engine.ctx(r).get(name)[
+                        lm.row_offset + (lo - gs) : lm.row_offset + (hi - gs)
+                    ]
+                )
+            calls.append(BroadcastCall(src=src, dests=dests))
+        return ranks, calls
+
+    if along == "col":
+        ranks = grid.col_group_ranks(group_id)
+        gs, ge = part.col_range(group_id)
+        for id_r in range(grid.C):
+            rs, re = part.row_range(id_r)
+            lo, hi = max(gs, rs), min(ge, re)
+            if lo >= hi:
+                continue
+            root = grid.rank_of(id_r, group_id)
+            lm_root = engine.ctx(root).localmap
+            src = engine.ctx(root).get(name)[
+                lm_root.row_offset + (lo - rs) : lm_root.row_offset + (hi - rs)
+            ]
+            dests = []
+            for r in ranks:
+                if r == root:
+                    continue
+                lm = engine.ctx(r).localmap
+                dests.append(
+                    engine.ctx(r).get(name)[
+                        lm.col_offset + (lo - gs) : lm.col_offset + (hi - gs)
+                    ]
+                )
+            calls.append(BroadcastCall(src=src, dests=dests))
+        return ranks, calls
+
+    raise ValueError(f"along must be 'row' or 'col', got {along!r}")
+
+
+def dense_push(engine: Engine, name: str, op: str = "min") -> None:
+    """Dense push: column-group AllReduce, then row-group Broadcasts."""
+    col_share = engine.stage_nic_sharing("col")
+    row_share = engine.stage_nic_sharing("row")
+    for _, ranks in engine.col_groups():
+        engine.comm.allreduce(
+            ranks, _col_views(engine, ranks, name), op=op, nic_sharing=col_share
+        )
+    for id_r, _ in engine.row_groups():
+        ranks, calls = _overlap_broadcasts(engine, name, "row", id_r)
+        engine.comm.grouped_broadcast(ranks, calls, nic_sharing=row_share)
+
+
+def dense_pull(engine: Engine, name: str, op: str = "sum") -> None:
+    """Dense pull: row-group AllReduce, then column-group Broadcasts."""
+    col_share = engine.stage_nic_sharing("col")
+    row_share = engine.stage_nic_sharing("row")
+    for _, ranks in engine.row_groups():
+        engine.comm.allreduce(
+            ranks, _row_views(engine, ranks, name), op=op, nic_sharing=row_share
+        )
+    for id_c, _ in engine.col_groups():
+        ranks, calls = _overlap_broadcasts(engine, name, "col", id_c)
+        engine.comm.grouped_broadcast(ranks, calls, nic_sharing=col_share)
+
+
+def dense_exchange(
+    engine: Engine, name: str, direction: str, op: str
+) -> None:
+    """Dispatch to :func:`dense_push` or :func:`dense_pull`."""
+    if direction == "push":
+        dense_push(engine, name, op=op)
+    elif direction == "pull":
+        dense_pull(engine, name, op=op)
+    else:
+        raise ValueError(f"direction must be 'push' or 'pull', got {direction!r}")

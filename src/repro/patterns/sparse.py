@@ -1,0 +1,282 @@
+"""Sparse queue-based 2D communication (paper §3.3.2, Algs. 3-5).
+
+Sparse exchanges trade queue-building compute for communication volume
+proportional to the number of *actual* state updates.  Buffers hold
+``{vertex GID, state value}`` pairs; communication uses AllGatherv
+along the reduction group followed by the mirrored broadcast stage,
+exactly as Alg. 3:
+
+* **push**: queue of updated ghost (column) vertices -> AllGatherv over
+  the column group -> ``ReduceQueue`` -> queue of updated *owned* (row)
+  vertices -> exchange over the row group -> final assignment.
+* **pull**: the same with row/column roles swapped (partial gathers
+  reduce over the row group first, ghosts refresh over column groups).
+
+``ReduceQueue`` change-detection (Alg. 5 lines 8-12) is vectorized:
+apply the reduction with ``np.minimum.at``-style unbuffered ops, then
+compare before/after on the unique touched vertices.  A rank's own
+locally-updated row vertices are unioned into the second-stage queue
+(its own echoes produce ``new == old`` in the reduce, exactly as in
+the CUDA code, but their values still must travel to the rest of the
+row group).
+
+The functions return a :class:`SparseResult` carrying the per-rank
+active row-vertex queues (paper §3.4.1) and the global count of
+vertices whose state changed — the quantity the dense/sparse switch
+policy consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..core.engine import Engine
+
+__all__ = ["PAIR_DTYPE", "SparseResult", "sparse_push", "sparse_pull", "propagate_active_pull"]
+
+#: One queue entry: {vertex GID, state value} (paper Alg. 4 lines 6-7).
+PAIR_DTYPE = np.dtype([("gid", np.int64), ("val", np.float64)])
+
+#: Custom reduction hook: (state, lids, vals) -> unique changed lids.
+ReduceFn = Callable[[np.ndarray, np.ndarray, np.ndarray], np.ndarray]
+
+
+@dataclass
+class SparseResult:
+    """Outcome of one sparse exchange."""
+
+    active_row: list[np.ndarray]  # per-rank row-vertex LIDs updated
+    n_updated: int  # unique vertices whose state changed globally
+
+
+def _pairs(gids: np.ndarray, vals: np.ndarray) -> np.ndarray:
+    buf = np.empty(gids.size, dtype=PAIR_DTYPE)
+    buf["gid"] = gids
+    buf["val"] = vals
+    return buf
+
+
+def _apply_op(
+    state: np.ndarray,
+    lids: np.ndarray,
+    vals: np.ndarray,
+    op: str,
+    reduce_fn: Optional[ReduceFn],
+) -> np.ndarray:
+    """Apply the reduction; return unique LIDs whose value changed."""
+    if reduce_fn is not None:
+        return np.asarray(reduce_fn(state, lids, vals), dtype=np.int64)
+    if lids.size == 0:
+        return np.empty(0, dtype=np.int64)
+    uniq = np.unique(lids)
+    old = state[uniq].copy()
+    if op == "min":
+        np.minimum.at(state, lids, vals)
+    elif op == "max":
+        np.maximum.at(state, lids, vals)
+    elif op == "sum":
+        # Delta semantics: callers must send deltas, not absolutes.
+        np.add.at(state, lids, vals)
+    else:
+        raise ValueError(f"unsupported sparse op {op!r}")
+    return uniq[state[uniq] != old]
+
+
+def sparse_push(
+    engine: Engine,
+    name: str,
+    queues: list[np.ndarray],
+    op: str = "min",
+    reduce_fn: Optional[ReduceFn] = None,
+) -> SparseResult:
+    """Sparse push exchange.
+
+    Parameters
+    ----------
+    queues:
+        Per-rank arrays of *column-vertex LIDs* whose state the local
+        compute kernel updated (deduplicated, as per the ``q_in``
+        convention).
+    op / reduce_fn:
+        Reduction applied in ``ReduceQueue``; ``reduce_fn`` overrides
+        ``op`` for complex reductions (paper §3.3.3).
+    """
+    part, grid = engine.partition, engine.grid
+    row_queues_gids: dict[int, np.ndarray] = {}
+    col_share = engine.stage_nic_sharing("col")
+    row_share = engine.stage_nic_sharing("row")
+
+    # ---- stage 1: AllGatherv + reduce along each column group -------
+    for id_c, ranks in engine.col_groups():
+        sbufs = []
+        for r in ranks:
+            ctx = engine.ctx(r)
+            q = np.asarray(queues[r], dtype=np.int64)
+            engine.charge_vertices(r, q.size)  # BuildQueue kernel
+            state = ctx.get(name)
+            sbufs.append(_pairs(ctx.localmap.col_gid(q), state[q]))
+        rbuf = engine.comm.allgatherv(ranks, sbufs, nic_sharing=col_share)
+        for r in ranks:
+            ctx = engine.ctx(r)
+            lm = ctx.localmap
+            state = ctx.get(name)
+            lids = lm.col_lid(rbuf["gid"])
+            changed = _apply_op(state, lids, rbuf["val"], op, reduce_fn)
+            engine.charge_vertices(r, rbuf.size)  # ReduceQueue kernel
+            # Row-stage queue: changed ghosts plus this rank's own local
+            # updates, restricted to row-owned vertices.
+            cand = np.concatenate(
+                [lm.col_gid(changed), lm.col_gid(np.asarray(queues[r], dtype=np.int64))]
+            )
+            row_queues_gids[r] = np.unique(cand[lm.owns_row_gid(cand)])
+
+    # ---- stage 2: exchange final values along each row group --------
+    active_row: list[np.ndarray] = [np.empty(0, dtype=np.int64)] * grid.n_ranks
+    n_updated = 0
+    for id_r, ranks in engine.row_groups():
+        sbufs = []
+        for r in ranks:
+            ctx = engine.ctx(r)
+            lm = ctx.localmap
+            gids = row_queues_gids.get(r, np.empty(0, dtype=np.int64))
+            engine.charge_vertices(r, gids.size)
+            state = ctx.get(name)
+            sbufs.append(_pairs(gids, state[lm.row_lid(gids)]))
+        rbuf = engine.comm.allgatherv(ranks, sbufs, nic_sharing=row_share)
+        uniq_gids = np.unique(rbuf["gid"])
+        n_updated += int(uniq_gids.size)
+        for r in ranks:
+            ctx = engine.ctx(r)
+            lm = ctx.localmap
+            state = ctx.get(name)
+            # Values are final after the column reduction; assignment
+            # (each vertex appears from exactly one root rank).
+            state[lm.row_lid(rbuf["gid"])] = rbuf["val"]
+            engine.charge_vertices(r, rbuf.size)
+            active_row[r] = lm.row_lid(uniq_gids)
+    return SparseResult(active_row=active_row, n_updated=n_updated)
+
+
+def sparse_pull(
+    engine: Engine,
+    name: str,
+    queues: list[np.ndarray],
+    op: str = "min",
+    reduce_fn: Optional[ReduceFn] = None,
+) -> SparseResult:
+    """Sparse pull exchange: row-group reduce, column-group refresh.
+
+    ``queues`` hold per-rank *row-vertex LIDs* updated by the local
+    (partial) gather kernel.
+    """
+    part, grid = engine.partition, engine.grid
+    col_queues_gids: dict[int, np.ndarray] = {}
+    active_row: list[np.ndarray] = [np.empty(0, dtype=np.int64)] * grid.n_ranks
+    n_updated = 0
+    col_share = engine.stage_nic_sharing("col")
+    row_share = engine.stage_nic_sharing("row")
+
+    # ---- stage 1: AllGatherv + reduce along each row group ----------
+    for id_r, ranks in engine.row_groups():
+        sbufs = []
+        for r in ranks:
+            ctx = engine.ctx(r)
+            q = np.asarray(queues[r], dtype=np.int64)
+            engine.charge_vertices(r, q.size)
+            state = ctx.get(name)
+            sbufs.append(_pairs(ctx.localmap.row_gid(q), state[q]))
+        rbuf = engine.comm.allgatherv(ranks, sbufs, nic_sharing=row_share)
+        group_changed: Optional[np.ndarray] = None
+        for r in ranks:
+            ctx = engine.ctx(r)
+            lm = ctx.localmap
+            state = ctx.get(name)
+            lids = lm.row_lid(rbuf["gid"])
+            changed = _apply_op(state, lids, rbuf["val"], op, reduce_fn)
+            engine.charge_vertices(r, rbuf.size)
+            cand = np.unique(
+                np.concatenate(
+                    [
+                        lm.row_gid(changed),
+                        lm.row_gid(np.asarray(queues[r], dtype=np.int64)),
+                    ]
+                )
+            )
+            if group_changed is None:
+                group_changed = cand  # identical on every group member
+            col_queues_gids[r] = cand[lm.owns_col_gid(cand)]
+            active_row[r] = lm.row_lid(cand)
+        if group_changed is not None:
+            n_updated += int(group_changed.size)
+
+    # ---- stage 2: refresh ghosts along each column group ------------
+    for id_c, ranks in engine.col_groups():
+        sbufs = []
+        for r in ranks:
+            ctx = engine.ctx(r)
+            lm = ctx.localmap
+            gids = col_queues_gids.get(r, np.empty(0, dtype=np.int64))
+            engine.charge_vertices(r, gids.size)
+            state = ctx.get(name)
+            sbufs.append(_pairs(gids, state[lm.row_lid(gids)]))
+        rbuf = engine.comm.allgatherv(ranks, sbufs, nic_sharing=col_share)
+        for r in ranks:
+            ctx = engine.ctx(r)
+            lm = ctx.localmap
+            state = ctx.get(name)
+            state[lm.col_lid(rbuf["gid"])] = rbuf["val"]
+            engine.charge_vertices(r, rbuf.size)
+    return SparseResult(active_row=active_row, n_updated=n_updated)
+
+
+def propagate_active_pull(
+    engine: Engine, updated_row: list[np.ndarray]
+) -> list[np.ndarray]:
+    """Build the next pull-iteration active queue (paper §3.4.1).
+
+    For pull updates the next active vertices are the *neighbors* of
+    this iteration's updated vertices, not the updated vertices
+    themselves.  Each rank expands the local adjacency of its updated
+    row vertices into a set of neighbor GIDs, which is then shared
+    push-style: across the column groups (to reach the neighbors'
+    owners) and then across the row groups (to make the queue
+    row-group-consistent).
+    """
+    grid = engine.grid
+
+    # Expand neighbors locally.
+    neighbor_gids: list[np.ndarray] = []
+    for ctx in engine:
+        lids = np.asarray(updated_row[ctx.rank], dtype=np.int64)
+        degs = ctx.local_degrees()[lids - ctx.localmap.row_offset]
+        engine.charge_edges(ctx.rank, degs)
+        _, dst, _ = ctx.expand(lids)
+        neighbor_gids.append(np.unique(ctx.localmap.col_gid(np.unique(dst))))
+
+    # Column stage: route neighbor GIDs to their row owners.
+    col_share = engine.stage_nic_sharing("col")
+    row_share = engine.stage_nic_sharing("row")
+    partial: dict[int, np.ndarray] = {}
+    for id_c, ranks in engine.col_groups():
+        sbufs = [neighbor_gids[r] for r in ranks]
+        rbuf = engine.comm.allgatherv(ranks, sbufs, nic_sharing=col_share)
+        for r in ranks:
+            lm = engine.ctx(r).localmap
+            mine = np.unique(rbuf[lm.owns_row_gid(rbuf)])
+            partial[r] = mine
+            engine.charge_vertices(r, rbuf.size)
+
+    # Row stage: union into a row-group-consistent active queue.
+    active: list[np.ndarray] = [np.empty(0, dtype=np.int64)] * grid.n_ranks
+    for id_r, ranks in engine.row_groups():
+        sbufs = [partial[r] for r in ranks]
+        rbuf = engine.comm.allgatherv(ranks, sbufs, nic_sharing=row_share)
+        merged = np.unique(rbuf)
+        for r in ranks:
+            lm = engine.ctx(r).localmap
+            active[r] = lm.row_lid(merged)
+            engine.charge_vertices(r, rbuf.size)
+    return active

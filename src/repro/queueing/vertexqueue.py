@@ -1,0 +1,71 @@
+"""Active-vertex queue utilities (paper §3.3.2, Algs. 4-5; §3.4.1).
+
+The CUDA code deduplicates queue insertions with an ``atomicExch`` on a
+boolean ``q_in`` array.  The vectorized equivalent keeps the same
+semantics — each vertex appears in a queue at most once per iteration —
+via sorted-unique operations.  A :class:`VertexQueue` owns the ``q_in``
+flags so repeated pushes across kernels within one iteration stay
+deduplicated, exactly like the paper's delayed queue build.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["VertexQueue", "unique_new"]
+
+
+def unique_new(candidates: np.ndarray, q_in: np.ndarray) -> np.ndarray:
+    """Vertices from ``candidates`` not yet flagged in ``q_in``.
+
+    Marks them in ``q_in`` and returns them (sorted, deduplicated) —
+    the vectorized form of the ``atomicExch`` insert in Alg. 5 lines
+    10-12.
+    """
+    candidates = np.unique(np.asarray(candidates, dtype=np.int64))
+    if candidates.size == 0:
+        return candidates
+    fresh = candidates[~q_in[candidates]]
+    q_in[fresh] = True
+    return fresh
+
+
+class VertexQueue:
+    """A per-rank active-vertex queue over the rank's LID space."""
+
+    def __init__(self, n_total: int):
+        self.q_in = np.zeros(n_total, dtype=bool)
+        self._members: list[np.ndarray] = []
+
+    def push(self, lids: np.ndarray) -> np.ndarray:
+        """Insert vertices (deduplicated); returns the newly added."""
+        fresh = unique_new(lids, self.q_in)
+        if fresh.size:
+            self._members.append(fresh)
+        return fresh
+
+    def drain(self) -> np.ndarray:
+        """Return all queued vertices and reset for the next iteration.
+
+        Mirrors ``BuildQueue`` (Alg. 4): the queue is consumed into a
+        buffer and every ``q_in`` flag is lowered.
+        """
+        if not self._members:
+            return np.empty(0, dtype=np.int64)
+        out = np.concatenate(self._members)
+        self._members.clear()
+        self.q_in[out] = False
+        return np.sort(out)
+
+    def peek(self) -> np.ndarray:
+        """Current contents without draining."""
+        if not self._members:
+            return np.empty(0, dtype=np.int64)
+        return np.sort(np.concatenate(self._members))
+
+    def __len__(self) -> int:
+        return sum(m.size for m in self._members)
+
+    @property
+    def empty(self) -> bool:
+        return len(self) == 0

@@ -1,0 +1,5 @@
+"""Serial reference implementations used for validation."""
+
+from . import serial
+
+__all__ = ["serial"]

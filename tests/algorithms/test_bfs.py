@@ -1,0 +1,124 @@
+"""Direction-optimizing BFS tests."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import bfs
+from repro.core.engine import Engine
+from repro.graph import Graph, grid_graph, path_graph, star_graph
+from repro.reference import serial
+
+from ..conftest import GRIDS, random_graph
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("grid", GRIDS, ids=lambda g: f"{g.C}x{g.R}")
+    def test_levels_and_parents_all_grids(self, rmat_graph, grid):
+        res = bfs(Engine(rmat_graph, grid=grid), root=0)
+        assert np.array_equal(res.extra["levels"], serial.bfs_levels(rmat_graph, 0))
+        assert serial.bfs_parents_valid(rmat_graph, 0, res.values)
+
+    @pytest.mark.parametrize("root", [0, 7, 255])
+    def test_various_roots(self, rmat_graph, root):
+        res = bfs(Engine(rmat_graph, 4), root=root)
+        assert np.array_equal(
+            res.extra["levels"], serial.bfs_levels(rmat_graph, root)
+        )
+        assert serial.bfs_parents_valid(rmat_graph, root, res.values)
+
+    def test_root_is_own_parent(self, rmat_graph):
+        res = bfs(Engine(rmat_graph, 4), root=3)
+        assert res.values[3] == 3
+        assert res.extra["levels"][3] == 0
+
+    def test_unreachable_marked(self):
+        g = Graph.from_edges([0], [1], 5)  # 2,3,4 unreachable
+        res = bfs(Engine(g, 4), root=0)
+        assert np.array_equal(res.values[2:], [-1, -1, -1])
+        assert np.array_equal(res.extra["levels"][2:], [-1, -1, -1])
+        assert res.extra["n_visited"] == 2
+
+    def test_long_path_stays_top_down(self):
+        res = bfs(Engine(path_graph(60), 4), root=0)
+        assert set(res.extra["directions"]) == {"top-down"}
+        assert res.extra["levels"][59] == 59
+
+    def test_star_switches_bottom_up(self):
+        res = bfs(Engine(star_graph(300), 4), root=0)
+        assert "bottom-up" in res.extra["directions"]
+        assert np.all(res.extra["levels"][1:] == 1)
+
+    def test_hybrid_off_pure_top_down(self, rmat_graph):
+        res = bfs(Engine(rmat_graph, 4), root=0, hybrid=False)
+        assert set(res.extra["directions"]) == {"top-down"}
+        assert np.array_equal(res.extra["levels"], serial.bfs_levels(rmat_graph, 0))
+
+    def test_bad_root(self, rmat_graph):
+        with pytest.raises(ValueError):
+            bfs(Engine(rmat_graph, 4), root=-1)
+
+    def test_random_graph_sweep(self):
+        for seed in range(5):
+            g = random_graph(seed + 7, n_max=150)
+            root = seed % g.n_vertices
+            res = bfs(Engine(g, 4), root=root)
+            assert np.array_equal(
+                res.extra["levels"], serial.bfs_levels(g, root)
+            )
+            assert serial.bfs_parents_valid(g, root, res.values)
+
+
+class TestBehaviour:
+    def test_lattice_hybrid_matches(self):
+        g = grid_graph(15, 15)
+        res = bfs(Engine(g, 9), root=0)
+        assert np.array_equal(res.extra["levels"], serial.bfs_levels(g, 0))
+
+    def test_sparse_comms_used(self, rmat_graph):
+        res = bfs(Engine(rmat_graph, 4), root=0)
+        assert res.counters["allgatherv"]["calls"] > 0
+
+    def test_iterations_equal_eccentricity_plus_one(self):
+        g = path_graph(20)
+        res = bfs(Engine(g, 4), root=0)
+        # 19 productive levels; the run stops once all are visited
+        assert res.iterations == 19
+
+
+class TestPseudoDiameter:
+    def test_path_exact(self):
+        from repro.algorithms import pseudo_diameter
+
+        res = pseudo_diameter(Engine(path_graph(30), 4), start=10)
+        assert res.extra["diameter_lower_bound"] == 29
+        a, b = res.extra["endpoints"]
+        assert {a, b} == {0, 29}
+
+    def test_lattice_exact(self):
+        from repro.algorithms import pseudo_diameter
+
+        res = pseudo_diameter(Engine(grid_graph(6, 9), 4), start=20)
+        assert res.extra["diameter_lower_bound"] == 5 + 8
+
+    def test_is_lower_bound(self, rmat_graph):
+        from repro.algorithms import pseudo_diameter
+        import numpy as np
+
+        res = pseudo_diameter(Engine(rmat_graph, 4), start=0)
+        # the bound is realized by an actual BFS depth
+        levels = serial.bfs_levels(rmat_graph, res.extra["endpoints"][0])
+        assert levels.max() >= res.extra["diameter_lower_bound"]
+
+    def test_bad_start(self, rmat_graph):
+        from repro.algorithms import pseudo_diameter
+
+        with pytest.raises(ValueError):
+            pseudo_diameter(Engine(rmat_graph, 4), start=-1)
+
+    def test_timings_accumulate_across_sweeps(self):
+        from repro.algorithms import pseudo_diameter
+
+        engine = Engine(path_graph(40), 4)
+        multi = pseudo_diameter(engine, start=20, sweeps=3)
+        single = pseudo_diameter(engine, start=20, sweeps=1)
+        assert multi.timings.total > single.timings.total

@@ -1,0 +1,71 @@
+"""Result export tests."""
+
+import pytest
+
+from repro.bench import ExperimentRow, speedup_table, to_csv, to_markdown
+
+
+def _row(ranks, total, dataset="TW", algo="CC"):
+    return ExperimentRow(
+        experiment="e",
+        dataset=dataset,
+        algorithm=algo,
+        n_ranks=ranks,
+        grid="2x2",
+        time_total=total,
+        time_compute=total * 0.6,
+        time_comm=total * 0.4,
+        iterations=5,
+        teps=1e9 / total,
+    )
+
+
+class TestMarkdown:
+    def test_table_structure(self):
+        md = to_markdown([_row(4, 1.0)], title="T")
+        lines = md.splitlines()
+        assert lines[0] == "### T"
+        assert lines[2].startswith("| dataset |")
+        assert lines[3].startswith("|---")
+        assert "| TW | CC | 4 |" in lines[4]
+
+    def test_no_title(self):
+        md = to_markdown([_row(4, 1.0)])
+        assert md.splitlines()[0].startswith("| dataset")
+
+
+class TestCsv:
+    def test_header_and_rows(self):
+        text = to_csv([_row(4, 2.0), _row(16, 1.0)])
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("dataset,algo,ranks")
+        assert len(lines) == 3
+        assert lines[1].split(",")[2] == "4"
+
+    def test_experiment_column(self):
+        text = to_csv([_row(4, 2.0)])
+        assert text.strip().splitlines()[1].endswith("e")
+
+
+class TestSpeedups:
+    def test_relative_to_baseline(self):
+        rows = [_row(1, 8.0), _row(4, 4.0), _row(16, 2.0)]
+        table = speedup_table(rows, baseline_ranks=1)
+        s = table[("TW", "CC")]
+        assert s[1] == pytest.approx(1.0)
+        assert s[4] == pytest.approx(2.0)
+        assert s[16] == pytest.approx(4.0)
+
+    def test_multiple_series(self):
+        rows = [
+            _row(1, 8.0),
+            _row(4, 4.0),
+            _row(1, 6.0, algo="PR"),
+            _row(4, 2.0, algo="PR"),
+        ]
+        table = speedup_table(rows, baseline_ranks=1)
+        assert table[("TW", "PR")][4] == pytest.approx(3.0)
+
+    def test_missing_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            speedup_table([_row(4, 1.0)], baseline_ranks=1)

@@ -1,0 +1,96 @@
+"""Substrate-profile and stage-sharing cost model tests."""
+
+import pytest
+
+from repro.cluster import (
+    AIMOS,
+    GENERIC_PROFILE,
+    NCCL_PROFILE,
+    CommProfile,
+    CostModel,
+    Topology,
+)
+from repro.comm.grid import Grid2D
+from repro.core.engine import Engine
+from repro.graph import rmat
+
+
+class TestMessageOverhead:
+    def test_nccl_flat_overhead(self):
+        assert NCCL_PROFILE.message_overhead(True) == NCCL_PROFILE.per_message_s
+        assert NCCL_PROFILE.message_overhead(False) == NCCL_PROFILE.per_message_s
+
+    def test_generic_cheaper_on_node(self):
+        assert GENERIC_PROFILE.message_overhead(False) < GENERIC_PROFILE.message_overhead(True)
+
+    def test_custom_profile_without_on_node_rate(self):
+        p = CommProfile(name="x", per_message_s=1e-5, volume_factor=1.0, grouped_calls=True)
+        assert p.message_overhead(False) == 1e-5
+
+
+class TestSyncOverhead:
+    def test_generic_sync_grows_with_ranks(self):
+        small = CostModel(AIMOS.gpu, Topology(AIMOS, 8), GENERIC_PROFILE)
+        big = CostModel(AIMOS.gpu, Topology(AIMOS, 64), GENERIC_PROFILE)
+        # identical 2-rank collective, but the global coordination term
+        # scales with the job size
+        t_small = small.allreduce_time([0, 1], 1000)
+        t_big = big.allreduce_time([0, 1], 1000)
+        assert t_big > t_small
+        assert (t_big - t_small) == pytest.approx(
+            GENERIC_PROFILE.sync_overhead_per_rank_s * (64 - 8)
+        )
+
+    def test_nccl_has_no_sync_overhead(self):
+        small = CostModel(AIMOS.gpu, Topology(AIMOS, 8))
+        big = CostModel(AIMOS.gpu, Topology(AIMOS, 64))
+        assert small.allreduce_time([0, 1], 1000) == pytest.approx(
+            big.allreduce_time([0, 1], 1000)
+        )
+
+
+class TestNicSharing:
+    def test_sharing_slows_network_collectives(self):
+        model = CostModel(AIMOS.gpu, Topology(AIMOS, 24))
+        ranks = [0, 6, 12]  # strided: all hops cross the network
+        lone = model.allreduce_time(ranks, 10**7)
+        shared = model.allreduce_time(ranks, 10**7, nic_sharing=6)
+        assert shared > 2 * lone
+
+    def test_sharing_ignored_on_node(self):
+        model = CostModel(AIMOS.gpu, Topology(AIMOS, 24))
+        ranks = [0, 1, 2]  # NVLink island
+        assert model.allreduce_time(ranks, 10**6) == pytest.approx(
+            model.allreduce_time(ranks, 10**6, nic_sharing=6)
+        )
+
+
+class TestEngineStageSharing:
+    def test_square_grid_on_aimos(self):
+        engine = Engine(rmat(8, seed=1), grid=Grid2D(4, 4))
+        # 16 ranks over 3 six-GPU nodes: a node's 6 consecutive ranks
+        # span up to 6 distinct column groups but at most 2 row groups.
+        assert engine.stage_nic_sharing("col") >= 4
+        assert engine.stage_nic_sharing("row") <= 2
+
+    def test_wide_grid_reverses_sharing(self):
+        engine = Engine(rmat(8, seed=1), grid=Grid2D(R=16, C=1))
+        # one row group spanning everything: col groups are singletons
+        assert engine.stage_nic_sharing("row") == 1
+
+    def test_tall_grid(self):
+        engine = Engine(rmat(8, seed=1), grid=Grid2D(R=1, C=16))
+        # every rank is its own row group: 6 row groups per node
+        assert engine.stage_nic_sharing("row") == 6
+        assert engine.stage_nic_sharing("col") == 1
+
+    def test_axis_validation(self):
+        engine = Engine(rmat(7, seed=1), 4)
+        with pytest.raises(ValueError):
+            engine.stage_nic_sharing("diagonal")
+
+    def test_cached(self):
+        engine = Engine(rmat(7, seed=1), 4)
+        a = engine.stage_nic_sharing("col")
+        b = engine.stage_nic_sharing("col")
+        assert a == b

@@ -1,0 +1,60 @@
+"""Scaled machine model tests (the stand-in regime restoration)."""
+
+import pytest
+
+from repro.cluster import AIMOS, ZEPY
+
+
+class TestScaledConfig:
+    def test_throughputs_divided(self):
+        s = AIMOS.scaled(100)
+        assert s.gpu.edge_rate == pytest.approx(AIMOS.gpu.edge_rate / 100)
+        assert s.gpu.vertex_rate == pytest.approx(AIMOS.gpu.vertex_rate / 100)
+        assert s.gpu.spmv_edge_rate == pytest.approx(
+            AIMOS.gpu.spmv_edge_rate / 100
+        )
+        assert s.node.nvlink.bandwidth_Bps == pytest.approx(
+            AIMOS.node.nvlink.bandwidth_Bps / 100
+        )
+        assert s.node.nic.bandwidth_Bps == pytest.approx(
+            AIMOS.node.nic.bandwidth_Bps / 100
+        )
+
+    def test_fixed_overheads_kept(self):
+        s = AIMOS.scaled(100)
+        assert s.gpu.kernel_launch_s == AIMOS.gpu.kernel_launch_s
+        assert s.node.nic.latency_s == AIMOS.node.nic.latency_s
+        assert s.node.nvlink.latency_s == AIMOS.node.nvlink.latency_s
+
+    def test_memory_capacity_kept(self):
+        # Memory is accounted separately (via memory_scale); the device
+        # capacity describes the real hardware.
+        s = AIMOS.scaled(1000)
+        assert s.gpu.memory_bytes == AIMOS.gpu.memory_bytes
+
+    def test_topology_kept(self):
+        s = ZEPY.scaled(10)
+        assert s.gpus_per_node == ZEPY.gpus_per_node
+        assert s.node.nvlink_group_size == ZEPY.node.nvlink_group_size
+
+    def test_name_annotated(self):
+        assert "scaled" in AIMOS.scaled(3).name
+
+    def test_identity_scale(self):
+        s = AIMOS.scaled(1)
+        assert s.gpu.edge_rate == AIMOS.gpu.edge_rate
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            AIMOS.scaled(0)
+        with pytest.raises(ValueError):
+            AIMOS.scaled(-2)
+
+    def test_original_untouched(self):
+        before = AIMOS.gpu.edge_rate
+        AIMOS.scaled(7)
+        assert AIMOS.gpu.edge_rate == before
+
+    def test_composition(self):
+        s = AIMOS.scaled(10).scaled(10)
+        assert s.gpu.edge_rate == pytest.approx(AIMOS.gpu.edge_rate / 100)

@@ -1,0 +1,114 @@
+"""Rank placement and link resolution tests."""
+
+import pytest
+
+from repro.cluster import AIMOS, ZEPY, Topology
+
+
+class TestPlacement:
+    def test_dense_fill_order(self):
+        topo = Topology(AIMOS, 13)
+        p = topo.placement(0)
+        assert (p.node, p.slot, p.island) == (0, 0, 0)
+        p = topo.placement(5)
+        assert (p.node, p.slot, p.island) == (0, 5, 1)
+        p = topo.placement(6)
+        assert (p.node, p.slot, p.island) == (1, 0, 0)
+
+    def test_island_boundaries(self):
+        topo = Topology(AIMOS, 6)
+        # slots 0-2 on island 0, slots 3-5 on island 1 (NVLink triples)
+        assert [topo.placement(r).island for r in range(6)] == [0, 0, 0, 1, 1, 1]
+
+    def test_n_nodes(self):
+        assert Topology(AIMOS, 400).n_nodes() == 67
+        assert Topology(ZEPY, 4).n_nodes() == 1
+
+    def test_rank_out_of_range(self):
+        topo = Topology(AIMOS, 4)
+        with pytest.raises(ValueError):
+            topo.placement(4)
+        with pytest.raises(ValueError):
+            topo.placement(-1)
+
+    def test_zero_ranks_rejected(self):
+        with pytest.raises(ValueError):
+            Topology(AIMOS, 0)
+
+
+class TestLinks:
+    def test_same_island_is_nvlink(self):
+        topo = Topology(AIMOS, 12)
+        assert topo.link(0, 2) == AIMOS.node.nvlink
+
+    def test_cross_island_same_node_is_cpu_path(self):
+        topo = Topology(AIMOS, 12)
+        assert topo.link(0, 3) == AIMOS.node.cpu_path
+
+    def test_cross_node_is_nic(self):
+        topo = Topology(AIMOS, 12)
+        assert topo.link(0, 6) == AIMOS.node.nic
+
+    def test_self_link_is_fast(self):
+        topo = Topology(AIMOS, 4)
+        assert topo.link(1, 1) == AIMOS.node.nvlink
+
+    def test_link_symmetry(self):
+        topo = Topology(AIMOS, 24)
+        for a, b in [(0, 1), (0, 5), (2, 17), (7, 23)]:
+            assert topo.link(a, b) == topo.link(b, a)
+
+
+class TestGroupProfile:
+    def test_single_rank_group(self):
+        topo = Topology(AIMOS, 4)
+        prof = topo.group_profile([2])
+        assert prof.size == 1
+        assert not prof.crosses_network
+
+    def test_intra_island_group(self):
+        topo = Topology(AIMOS, 6)
+        prof = topo.group_profile([0, 1, 2])
+        assert prof.bandwidth_Bps == AIMOS.node.nvlink.bandwidth_Bps
+        assert not prof.crosses_network
+
+    def test_cross_node_group_bottleneck(self):
+        topo = Topology(AIMOS, 12)
+        prof = topo.group_profile([0, 6])
+        assert prof.crosses_network
+        assert prof.bandwidth_Bps <= AIMOS.node.nic.bandwidth_Bps
+
+    def test_single_ring_pays_no_contention(self):
+        # A sorted ring crosses each node's NIC once, so a lone
+        # collective is limited by its slowest link (here the CPU path
+        # between NVLink islands), not by NIC sharing.
+        topo = Topology(AIMOS, 24)
+        prof = topo.group_profile(list(range(12)))
+        assert prof.crosses_network
+        assert prof.bandwidth_Bps == pytest.approx(
+            AIMOS.node.cpu_path.bandwidth_Bps
+        )
+
+    def test_nic_sharing_divides_bandwidth(self):
+        # Concurrent stage collectives share the NIC (e.g. 6 column
+        # groups with one member each on a node).
+        topo = Topology(AIMOS, 24)
+        prof = topo.group_profile([0, 6, 12], nic_sharing=6)
+        assert prof.bandwidth_Bps == pytest.approx(
+            AIMOS.node.nic.bandwidth_Bps / 6
+        )
+
+    def test_nic_sharing_validation(self):
+        topo = Topology(AIMOS, 4)
+        with pytest.raises(ValueError):
+            topo.group_profile([0, 1], nic_sharing=0)
+
+    def test_empty_group_rejected(self):
+        topo = Topology(AIMOS, 4)
+        with pytest.raises(ValueError):
+            topo.group_profile([])
+
+    def test_worst_latency_dominates(self):
+        topo = Topology(AIMOS, 12)
+        prof = topo.group_profile([0, 1, 6])
+        assert prof.latency_s == AIMOS.node.nic.latency_s

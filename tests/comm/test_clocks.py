@@ -1,0 +1,89 @@
+"""Virtual clock tests."""
+
+import pytest
+
+from repro.comm import VirtualClocks
+
+
+class TestCharging:
+    def test_compute_advances_only_one_rank(self):
+        clocks = VirtualClocks(4)
+        clocks.add_compute(1, 0.5)
+        assert clocks.clock[1] == 0.5
+        assert clocks.clock[0] == 0.0
+        assert clocks.compute[1] == 0.5
+
+    def test_sync_group_waits_for_slowest(self):
+        clocks = VirtualClocks(4)
+        clocks.add_compute(0, 1.0)
+        clocks.add_compute(1, 3.0)
+        clocks.sync_group([0, 1], 0.5)
+        # both end at max(1, 3) + 0.5
+        assert clocks.clock[0] == clocks.clock[1] == 3.5
+        assert clocks.comm[0] == clocks.comm[1] == 0.5
+
+    def test_sync_leaves_other_ranks(self):
+        clocks = VirtualClocks(4)
+        clocks.sync_group([0, 1], 1.0)
+        assert clocks.clock[2] == 0.0
+
+    def test_subgroups_progress_independently(self):
+        clocks = VirtualClocks(4)
+        clocks.sync_group([0, 1], 1.0)
+        clocks.sync_group([2, 3], 5.0)
+        assert clocks.clock[0] == 1.0
+        assert clocks.clock[3] == 5.0
+
+    def test_barrier_syncs_without_charge(self):
+        clocks = VirtualClocks(3)
+        clocks.add_compute(2, 2.0)
+        clocks.barrier()
+        assert list(clocks.clock) == [2.0, 2.0, 2.0]
+        assert clocks.comm.sum() == 0.0
+
+    def test_negative_time_rejected(self):
+        clocks = VirtualClocks(2)
+        with pytest.raises(ValueError):
+            clocks.add_compute(0, -1.0)
+        with pytest.raises(ValueError):
+            clocks.sync_group([0, 1], -0.1)
+
+    def test_needs_ranks(self):
+        with pytest.raises(ValueError):
+            VirtualClocks(0)
+
+
+class TestReporting:
+    def test_snapshot_is_max_over_ranks(self):
+        clocks = VirtualClocks(3)
+        clocks.add_compute(0, 1.0)
+        clocks.add_compute(1, 4.0)
+        snap = clocks.snapshot()
+        assert snap.total == 4.0
+        assert snap.compute == 4.0
+        assert snap.comm == 0.0
+
+    def test_iteration_marks_deltas(self):
+        clocks = VirtualClocks(2)
+        clocks.add_compute(0, 1.0)
+        d1 = clocks.mark_iteration()
+        clocks.sync_group([0, 1], 2.0)
+        d2 = clocks.mark_iteration()
+        assert d1.total == pytest.approx(1.0)
+        assert d2.total == pytest.approx(2.0)
+        assert d2.comm == pytest.approx(2.0)
+
+    def test_elapsed(self):
+        clocks = VirtualClocks(2)
+        clocks.add_compute(1, 2.5)
+        assert clocks.elapsed == 2.5
+
+    def test_phase_subtraction(self):
+        clocks = VirtualClocks(1)
+        clocks.add_compute(0, 1.0)
+        a = clocks.snapshot()
+        clocks.add_compute(0, 2.0)
+        b = clocks.snapshot()
+        d = b - a
+        assert d.total == pytest.approx(2.0)
+        assert d.compute == pytest.approx(2.0)

@@ -1,0 +1,182 @@
+"""Collective operation tests: data movement + accounting."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import AIMOS, CostModel, Topology
+from repro.comm import BroadcastCall, Communicator, VirtualClocks
+
+
+@pytest.fixture
+def comm():
+    topo = Topology(AIMOS, 8)
+    return Communicator(CostModel(AIMOS.gpu, topo), VirtualClocks(8))
+
+
+class TestAllReduce:
+    @pytest.mark.parametrize(
+        "op,expect",
+        [
+            ("sum", [6.0, 9.0]),
+            ("min", [1.0, 2.0]),
+            ("max", [3.0, 4.0]),
+            ("prod", [6.0, 24.0]),
+        ],
+    )
+    def test_ops(self, comm, op, expect):
+        bufs = [
+            np.array([1.0, 3.0]),
+            np.array([2.0, 2.0]),
+            np.array([3.0, 4.0]),
+        ]
+        comm.allreduce([0, 1, 2], bufs, op=op)
+        for b in bufs:
+            assert np.array_equal(b, expect)
+
+    def test_views_update_parent_arrays(self, comm):
+        states = [np.zeros(6), np.ones(6)]
+        comm.allreduce([0, 1], [s[2:4] for s in states], op="sum")
+        assert np.array_equal(states[0], [0, 0, 1, 1, 0, 0])
+
+    def test_boolean_ops(self, comm):
+        bufs = [np.array([True, False]), np.array([True, True])]
+        comm.allreduce([0, 1], bufs, op="and")
+        assert np.array_equal(bufs[0], [True, False])
+
+    def test_single_rank_noop(self, comm):
+        buf = [np.array([5.0])]
+        comm.allreduce([0], buf, op="sum")
+        assert buf[0][0] == 5.0
+
+    def test_unknown_op(self, comm):
+        with pytest.raises(ValueError):
+            comm.allreduce([0, 1], [np.zeros(1), np.zeros(1)], op="xor")
+
+    def test_mismatched_buffers(self, comm):
+        with pytest.raises(ValueError):
+            comm.allreduce([0, 1], [np.zeros(1)])
+
+    def test_charges_time_and_counters(self, comm):
+        comm.allreduce([0, 1, 2], [np.zeros(100)] * 3, op="sum")
+        assert comm.clocks.elapsed > 0
+        stats = comm.counters.by_kind["allreduce"]
+        assert stats.calls == 1
+        assert stats.serial_messages == 4  # 2(k-1)
+
+
+class TestBroadcast:
+    def test_copies_from_root(self, comm):
+        bufs = [np.zeros(3), np.array([1.0, 2.0, 3.0]), np.zeros(3)]
+        comm.broadcast([0, 1, 2], bufs, root_pos=1)
+        for b in bufs:
+            assert np.array_equal(b, [1.0, 2.0, 3.0])
+
+    def test_bad_root(self, comm):
+        with pytest.raises(ValueError):
+            comm.broadcast([0, 1], [np.zeros(1)] * 2, root_pos=5)
+
+    def test_grouped_broadcast(self, comm):
+        s1, s2 = np.array([1.0]), np.array([2.0, 3.0])
+        d1, d2a, d2b = np.zeros(1), np.zeros(2), np.zeros(2)
+        comm.grouped_broadcast(
+            [0, 1, 2],
+            [BroadcastCall(src=s1, dests=[d1]), BroadcastCall(src=s2, dests=[d2a, d2b])],
+        )
+        assert d1[0] == 1.0
+        assert np.array_equal(d2a, [2.0, 3.0])
+        assert np.array_equal(d2b, [2.0, 3.0])
+
+    def test_grouped_broadcast_empty(self, comm):
+        before = comm.clocks.elapsed
+        comm.grouped_broadcast([0, 1], [])
+        assert comm.clocks.elapsed == before
+
+
+class TestAllGatherv:
+    def test_concatenates_in_rank_order(self, comm):
+        bufs = [np.array([1.0]), np.array([]), np.array([2.0, 3.0])]
+        out = comm.allgatherv([0, 1, 2], bufs)
+        assert np.array_equal(out, [1.0, 2.0, 3.0])
+
+    def test_structured_dtype(self, comm):
+        dt = np.dtype([("gid", np.int64), ("val", np.float64)])
+        a = np.array([(1, 0.5)], dtype=dt)
+        b = np.array([(2, 0.7), (3, 0.9)], dtype=dt)
+        out = comm.allgatherv([0, 1], [a, b])
+        assert out.size == 3
+        assert out["gid"].tolist() == [1, 2, 3]
+
+    def test_counters_volume(self, comm):
+        bufs = [np.zeros(10), np.zeros(20)]
+        comm.allgatherv([0, 1], bufs)
+        assert comm.counters.by_kind["allgatherv"].bytes == 30 * 8  # (k-1)*total
+
+
+class TestPointToPoint:
+    def test_sendrecv_returns_copy(self, comm):
+        payload = np.array([1.0, 2.0])
+        out = comm.sendrecv(0, 1, payload)
+        assert np.array_equal(out, payload)
+        out[0] = 99.0
+        assert payload[0] == 1.0
+
+    def test_alltoallv_routing(self, comm):
+        k = 3
+        matrix = [
+            [np.array([float(10 * i + j)]) for j in range(k)] for i in range(k)
+        ]
+        out = comm.alltoallv([0, 1, 2], matrix)
+        # member j receives column j in row order
+        assert np.array_equal(out[1], [1.0, 11.0, 21.0])
+
+    def test_alltoallv_shape_check(self, comm):
+        with pytest.raises(ValueError):
+            comm.alltoallv([0, 1], [[np.zeros(1)]])
+
+    def test_alltoallv_message_count(self, comm):
+        k = 4
+        matrix = [[np.zeros(1) for _ in range(k)] for _ in range(k)]
+        comm.alltoallv([0, 1, 2, 3], matrix)
+        assert comm.counters.by_kind["alltoallv"].serial_messages == k * (k - 1)
+
+
+class TestSharingAndProfiles:
+    def test_nic_sharing_increases_charged_time(self):
+        topo = Topology(AIMOS, 24)
+        model = CostModel(AIMOS.gpu, topo)
+        c1 = Communicator(model, VirtualClocks(24))
+        c2 = Communicator(model, VirtualClocks(24))
+        ranks = [0, 6, 12]
+        bufs1 = [np.zeros(10000) for _ in ranks]
+        bufs2 = [np.zeros(10000) for _ in ranks]
+        c1.allreduce(ranks, bufs1, op="sum")
+        c2.allreduce(ranks, bufs2, op="sum", nic_sharing=6)
+        assert c2.clocks.elapsed > c1.clocks.elapsed
+
+    def test_generic_profile_slower_through_communicator(self):
+        from repro.cluster import GENERIC_PROFILE
+
+        topo = Topology(AIMOS, 12)
+        nccl = Communicator(CostModel(AIMOS.gpu, topo), VirtualClocks(12))
+        gen = Communicator(
+            CostModel(AIMOS.gpu, topo, GENERIC_PROFILE), VirtualClocks(12)
+        )
+        ranks = list(range(12))
+        nccl.allgatherv(ranks, [np.zeros(100) for _ in ranks])
+        gen.allgatherv(ranks, [np.zeros(100) for _ in ranks])
+        assert gen.clocks.elapsed > nccl.clocks.elapsed
+
+    def test_data_identical_across_profiles(self):
+        from repro.cluster import GENERIC_PROFILE
+
+        topo = Topology(AIMOS, 4)
+        for profile in (None, GENERIC_PROFILE):
+            model = (
+                CostModel(AIMOS.gpu, topo, profile)
+                if profile
+                else CostModel(AIMOS.gpu, topo)
+            )
+            comm = Communicator(model, VirtualClocks(4))
+            bufs = [np.array([float(i)]) for i in range(4)]
+            comm.allreduce([0, 1, 2, 3], bufs, op="sum")
+            assert bufs[0][0] == 6.0  # profile changes time, never data

@@ -1,0 +1,50 @@
+"""Communication counter tests."""
+
+from repro.comm import CommCounters
+
+
+class TestCounters:
+    def test_record_and_totals(self):
+        c = CommCounters()
+        c.record("allreduce", serial_messages=4, transfers=12, nbytes=1000)
+        c.record("allreduce", serial_messages=4, transfers=12, nbytes=500)
+        c.record("broadcast", serial_messages=2, transfers=2, nbytes=100)
+        assert c.total_calls == 3
+        assert c.total_serial_messages == 10
+        assert c.total_transfers == 26
+        assert c.total_bytes == 1600
+
+    def test_by_kind(self):
+        c = CommCounters()
+        c.record("allgatherv", serial_messages=3, transfers=6, nbytes=64)
+        stats = c.by_kind["allgatherv"]
+        assert stats.calls == 1
+        assert stats.serial_messages == 3
+
+    def test_merge(self):
+        a, b = CommCounters(), CommCounters()
+        a.record("x", 1, 1, 10)
+        b.record("x", 2, 2, 20)
+        b.record("y", 3, 3, 30)
+        a.merge(b)
+        assert a.by_kind["x"].serial_messages == 3
+        assert a.by_kind["y"].bytes == 30
+        assert a.total_calls == 3
+
+    def test_summary_shape(self):
+        c = CommCounters()
+        c.record("sendrecv", 1, 1, 8)
+        s = c.summary()
+        assert s == {
+            "sendrecv": {
+                "calls": 1,
+                "serial_messages": 1,
+                "transfers": 1,
+                "bytes": 8,
+            }
+        }
+
+    def test_empty_totals(self):
+        c = CommCounters()
+        assert c.total_bytes == 0
+        assert c.summary() == {}

@@ -1,0 +1,64 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.comm.grid import Grid2D
+from repro.graph import erdos_renyi_gnm, grid_graph, path_graph, rmat, star_graph
+
+#: Grid shapes exercising square, non-square, tall/wide, and
+#: non-divisible vertex counts.
+GRIDS = [
+    Grid2D(R=1, C=1),
+    Grid2D(R=2, C=2),
+    Grid2D(R=4, C=1),
+    Grid2D(R=1, C=4),
+    Grid2D(R=4, C=2),
+    Grid2D(R=2, C=4),
+    Grid2D(R=3, C=5),
+    Grid2D(R=4, C=4),
+]
+
+
+@pytest.fixture(params=GRIDS, ids=lambda g: f"{g.C}x{g.R}")
+def any_grid(request) -> Grid2D:
+    return request.param
+
+
+@pytest.fixture
+def rmat_graph():
+    return rmat(8, seed=11)
+
+
+@pytest.fixture
+def er_graph():
+    return erdos_renyi_gnm(300, 1200, seed=4)
+
+
+@pytest.fixture
+def lattice():
+    return grid_graph(8, 9)
+
+
+@pytest.fixture
+def path10():
+    return path_graph(10)
+
+
+@pytest.fixture
+def star20():
+    return star_graph(20)
+
+
+def random_graph(seed: int, n_max: int = 200, density: float = 4.0):
+    """Reproducible random test graph (for hand-rolled sweeps)."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(2, n_max))
+    m = int(n * density)
+    src = rng.integers(0, n, size=m)
+    dst = rng.integers(0, n, size=m)
+    from repro.graph import Graph
+
+    return Graph.from_edges(src, dst, n)

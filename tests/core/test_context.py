@@ -1,0 +1,96 @@
+"""RankContext tests."""
+
+import numpy as np
+import pytest
+
+from repro.comm.grid import Grid2D
+from repro.core.engine import Engine
+from repro.graph import rmat
+
+
+@pytest.fixture
+def engine():
+    return Engine(rmat(8, seed=3), grid=Grid2D(R=3, C=2))
+
+
+class TestStateArrays:
+    def test_alloc_spans_lid_space(self, engine):
+        ctx = engine.ctx(0)
+        arr = ctx.alloc("x", np.float64, fill=2.0)
+        assert arr.shape == (ctx.n_total,)
+        assert np.all(arr == 2.0)
+
+    def test_alloc_custom_length(self, engine):
+        ctx = engine.ctx(0)
+        arr = ctx.alloc("small", np.int64, length=7)
+        assert arr.shape == (7,)
+
+    def test_dtype_change_reallocates(self, engine):
+        ctx = engine.ctx(0)
+        a = ctx.alloc("y", np.float64)
+        b = ctx.alloc("y", np.int64)
+        assert a is not b
+        assert b.dtype == np.int64
+
+    def test_has_and_free(self, engine):
+        ctx = engine.ctx(1)
+        ctx.alloc("z", np.float64)
+        assert ctx.has("z")
+        ctx.free("z")
+        assert not ctx.has("z")
+        # freeing again is a no-op
+        ctx.free("z")
+
+    def test_memory_charged_and_released(self, engine):
+        ctx = engine.ctx(2)
+        base = ctx.device.allocated_bytes
+        ctx.alloc("w", np.float64)
+        assert ctx.device.allocated_bytes == base + ctx.n_total * 8
+        ctx.free("w")
+        assert ctx.device.allocated_bytes == base
+
+    def test_graph_structure_charged_on_construction(self, engine):
+        ctx = engine.ctx(0)
+        assert "graph.indptr" in ctx.device.ledger
+        assert "graph.indices" in ctx.device.ledger
+
+
+class TestGraphAccess:
+    def test_local_degrees_cached_and_correct(self, engine):
+        ctx = engine.ctx(3)
+        degs = ctx.local_degrees()
+        assert degs is ctx.local_degrees()
+        assert np.array_equal(degs, np.diff(ctx.block.indptr))
+
+    def test_row_col_lids_cover_windows(self, engine):
+        ctx = engine.ctx(0)
+        lm = ctx.localmap
+        assert ctx.row_lids().size == lm.n_row
+        assert ctx.col_lids().size == lm.n_col
+        assert ctx.row_lids()[0] == lm.row_offset
+
+    def test_expand_subset_consistent_with_expand_all(self, engine):
+        ctx = engine.ctx(4)
+        src_all, dst_all, _ = ctx.expand_all()
+        rows = ctx.row_lids()[:3]
+        src, dst, _ = ctx.expand(rows)
+        mask = np.isin(src_all, rows)
+        assert np.array_equal(np.sort(dst), np.sort(dst_all[mask]))
+
+    def test_expand_all_cached(self, engine):
+        ctx = engine.ctx(5)
+        a = ctx.expand_all()
+        b = ctx.expand_all()
+        assert a[0] is b[0]
+
+    def test_weighted_expansion(self):
+        g = rmat(7, seed=1).with_random_weights(seed=2)
+        engine = Engine(g, 4)
+        ctx = engine.ctx(0)
+        _, dst, w = ctx.expand_all()
+        assert w is not None and w.shape == dst.shape
+
+    def test_slices_match_localmap(self, engine):
+        ctx = engine.ctx(1)
+        assert ctx.row_slice == ctx.localmap.row_slice
+        assert ctx.col_slice == ctx.localmap.col_slice

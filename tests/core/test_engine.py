@@ -1,0 +1,114 @@
+"""Engine API tests."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ZEPY, DeviceMemoryError, GENERIC_PROFILE
+from repro.comm.grid import Grid2D
+from repro.core.engine import Engine
+from repro.graph import rmat
+
+
+class TestConstruction:
+    def test_square_from_n_ranks(self, rmat_graph):
+        e = Engine(rmat_graph, 16)
+        assert e.grid.R == e.grid.C == 4
+        assert e.n_ranks == 16
+
+    def test_nonsquare_needs_explicit_grid(self, rmat_graph):
+        with pytest.raises(ValueError):
+            Engine(rmat_graph, 12)
+        e = Engine(rmat_graph, grid=Grid2D(R=4, C=3))
+        assert e.n_ranks == 12
+
+    def test_conflicting_args(self, rmat_graph):
+        with pytest.raises(ValueError):
+            Engine(rmat_graph, 8, grid=Grid2D(R=2, C=2))
+
+    def test_needs_some_layout(self, rmat_graph):
+        with pytest.raises(ValueError):
+            Engine(rmat_graph)
+
+    def test_load_balance_validation(self, rmat_graph):
+        with pytest.raises(ValueError):
+            Engine(rmat_graph, 4, load_balance="chaotic")
+
+    def test_cluster_selection(self, rmat_graph):
+        e = Engine(rmat_graph, 4, cluster=ZEPY)
+        assert e.cluster.name == "zepy"
+
+
+class TestState:
+    def test_alloc_and_gather_roundtrip(self, rmat_graph):
+        e = Engine(rmat_graph, 4)
+        vec = np.random.default_rng(0).random(rmat_graph.n_vertices)
+        e.scatter_global("x", vec)
+        assert np.allclose(e.gather("x"), vec)
+
+    def test_alloc_fill(self, rmat_graph):
+        e = Engine(rmat_graph, 4)
+        for arr in e.alloc("y", np.float64, fill=3.5):
+            assert np.all(arr == 3.5)
+
+    def test_missing_state_keyerror(self, rmat_graph):
+        e = Engine(rmat_graph, 4)
+        with pytest.raises(KeyError, match="no state array"):
+            e.ctx(0).get("nope")
+
+    def test_free_releases_memory(self, rmat_graph):
+        e = Engine(rmat_graph, 4)
+        e.alloc("z", np.float64)
+        used = e.ctx(0).device.allocated_bytes
+        e.free("z")
+        assert e.ctx(0).device.allocated_bytes < used
+
+    def test_realloc_same_shape_reuses(self, rmat_graph):
+        e = Engine(rmat_graph, 4)
+        a = e.ctx(0).alloc("w", np.float64, fill=1.0)
+        b = e.ctx(0).alloc("w", np.float64, fill=2.0)
+        assert a is b
+        assert np.all(b == 2.0)
+
+
+class TestAccounting:
+    def test_charges_accumulate_and_reset(self, rmat_graph):
+        e = Engine(rmat_graph, 4)
+        e.charge_vertices(0, 10_000)
+        assert e.clocks.elapsed > 0
+        e.reset_timers()
+        assert e.clocks.elapsed == 0
+        assert e.counters.total_calls == 0
+
+    def test_manhattan_vs_vertex_balance(self):
+        """The naive schedule charges more time on skewed queues."""
+        g = rmat(10, seed=1)
+        degs = None
+        e_m = Engine(g, 1, load_balance="manhattan")
+        e_v = Engine(g, 1, load_balance="vertex")
+        q = e_m.ctx(0).local_degrees()
+        e_m.charge_edges(0, q)
+        e_v.charge_edges(0, q)
+        assert e_v.clocks.elapsed > e_m.clocks.elapsed
+
+    def test_memory_report(self, rmat_graph):
+        e = Engine(rmat_graph, 4)
+        rep = e.memory_report()
+        assert set(rep) == {0, 1, 2, 3}
+        assert all(0 <= u < 1 for u in rep.values())
+
+    def test_memory_scale_and_enforcement(self, rmat_graph):
+        # Model a footprint 10^7x bigger than the stand-in: must OOM.
+        with pytest.raises(DeviceMemoryError):
+            Engine(rmat_graph, 4, memory_scale=1e7, enforce_memory=True)
+
+    def test_profile_swapping(self, rmat_graph):
+        e = Engine(rmat_graph, 4, profile=GENERIC_PROFILE)
+        assert e.costmodel.profile.name == "generic"
+
+    def test_group_iterators(self, rmat_graph):
+        e = Engine(rmat_graph, grid=Grid2D(R=3, C=2))
+        rows = dict(e.row_groups())
+        cols = dict(e.col_groups())
+        assert len(rows) == 2 and len(cols) == 3
+        assert rows[0] == [0, 1, 2]
+        assert cols[2] == [2, 5]

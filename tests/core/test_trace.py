@@ -1,0 +1,62 @@
+"""Execution trace tests."""
+
+import numpy as np
+import pytest
+
+from repro import Engine, algorithms
+from repro.core.trace import TraceRecorder
+from repro.graph import rmat
+
+
+@pytest.fixture
+def traced_run():
+    engine = Engine(rmat(8, seed=4), 4)
+    rec = TraceRecorder(engine)
+    result = algorithms.pagerank(engine, iterations=6)
+    return engine, rec, result
+
+
+class TestTraces:
+    def test_one_row_per_iteration(self, traced_run):
+        engine, rec, result = traced_run
+        rows = rec.collect(result)
+        assert len(rows) == 6
+        assert [r.iteration for r in rows] == [1, 2, 3, 4, 5, 6]
+
+    def test_deltas_sum_to_totals(self, traced_run):
+        engine, rec, result = traced_run
+        rows = rec.collect(result)
+        assert sum(r.total_s for r in rows) == pytest.approx(
+            result.timings.total, rel=1e-9
+        )
+        assert sum(r.comm_s for r in rows) == pytest.approx(
+            result.timings.comm, rel=1e-9
+        )
+
+    def test_byte_apportioning_sums_to_total(self, traced_run):
+        engine, rec, result = traced_run
+        rows = rec.collect(result)
+        assert sum(r.bytes for r in rows) == pytest.approx(
+            engine.counters.total_bytes, rel=0.01
+        )
+
+    def test_csv_export(self, traced_run):
+        engine, rec, result = traced_run
+        text = TraceRecorder.to_csv(rec.collect(result))
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("iteration,")
+        assert len(lines) == 7
+
+    def test_tail_decay_visible_for_cc(self):
+        """CC's iteration tail: later iterations move fewer bytes."""
+        from repro.graph import web_graph
+
+        g = web_graph(2000, 12_000, seed=3)
+        engine = Engine(g, 4)
+        rec = TraceRecorder(engine)
+        algorithms.connected_components(engine)
+        rows = rec.collect()
+        assert len(rows) > 5
+        first_half = sum(r.comm_s for r in rows[: len(rows) // 2])
+        second_half = sum(r.comm_s for r in rows[len(rows) // 2 :])
+        assert second_half < first_half

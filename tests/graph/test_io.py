@@ -1,0 +1,111 @@
+"""Graph file I/O tests."""
+
+import numpy as np
+import pytest
+
+from repro.graph import rmat
+from repro.graph.io import (
+    read_edge_list,
+    read_matrix_market,
+    write_edge_list,
+    write_matrix_market,
+)
+
+
+class TestEdgeList:
+    def test_roundtrip(self, tmp_path):
+        g = rmat(7, seed=4)
+        path = tmp_path / "g.el"
+        write_edge_list(g, path)
+        h = read_edge_list(path)
+        assert h.n_vertices == g.n_vertices
+        assert np.array_equal(h.indptr, g.indptr)
+        assert np.array_equal(h.indices, g.indices)
+
+    def test_weighted_roundtrip(self, tmp_path):
+        g = rmat(6, seed=4).with_random_weights(seed=2)
+        path = tmp_path / "g.wel"
+        write_edge_list(g, path)
+        h = read_edge_list(path, weighted=True)
+        assert h.is_weighted
+        assert np.allclose(h.weights, g.weights)
+
+    def test_comments_and_blank_lines(self, tmp_path):
+        path = tmp_path / "g.el"
+        path.write_text("# comment\n\n0 1\n1 2\n")
+        g = read_edge_list(path)
+        assert g.n_vertices == 3
+        assert g.n_edges == 4  # two undirected edges
+
+    def test_explicit_vertex_count(self, tmp_path):
+        path = tmp_path / "g.el"
+        path.write_text("0 1\n")
+        g = read_edge_list(path, n_vertices=10)
+        assert g.n_vertices == 10
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.el"
+        path.write_text("0\n")
+        with pytest.raises(ValueError, match="bad.el:1"):
+            read_edge_list(path)
+
+    def test_weighted_needs_three_columns(self, tmp_path):
+        path = tmp_path / "bad.wel"
+        path.write_text("0 1\n")
+        with pytest.raises(ValueError):
+            read_edge_list(path, weighted=True)
+
+    def test_header_written(self, tmp_path):
+        g = rmat(5, seed=1)
+        path = tmp_path / "g.el"
+        write_edge_list(g, path, header="my graph")
+        assert path.read_text().startswith("# my graph")
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.el"
+        path.write_text("# nothing\n")
+        g = read_edge_list(path)
+        assert g.n_vertices == 1
+        assert g.n_edges == 0
+
+
+class TestMatrixMarket:
+    def test_roundtrip(self, tmp_path):
+        g = rmat(6, seed=3)
+        path = tmp_path / "g.mtx"
+        write_matrix_market(g, path)
+        h = read_matrix_market(path)
+        assert np.array_equal(h.indptr, g.indptr)
+        assert np.array_equal(h.indices, g.indices)
+
+    def test_weighted_roundtrip(self, tmp_path):
+        g = rmat(5, seed=3).with_random_weights(seed=1)
+        path = tmp_path / "g.mtx"
+        write_matrix_market(g, path)
+        h = read_matrix_market(path, weighted=True)
+        assert np.allclose(h.weights, g.weights)
+
+    def test_nonsquare_rejected(self, tmp_path):
+        import scipy.io
+        import scipy.sparse as sp
+
+        path = tmp_path / "rect.mtx"
+        scipy.io.mmwrite(str(path), sp.coo_matrix(np.ones((2, 3))))
+        with pytest.raises(ValueError, match="square"):
+            read_matrix_market(path)
+
+
+class TestLoaderEngineIntegration:
+    def test_loaded_graph_runs_distributed(self, tmp_path):
+        from repro import Engine, algorithms
+        from repro.reference import serial
+
+        g = rmat(7, seed=8)
+        path = tmp_path / "g.el"
+        write_edge_list(g, path)
+        h = read_edge_list(path)
+        res = algorithms.connected_components(Engine(h, 4))
+        assert np.array_equal(
+            serial.canonical_labels(res.values),
+            serial.canonical_labels(serial.connected_components(g)),
+        )

@@ -1,0 +1,57 @@
+"""Partition quality metric tests."""
+
+import numpy as np
+import pytest
+
+from repro.comm.grid import Grid2D
+from repro.graph import partition_2d, rmat
+from repro.graph.partition.metrics import evaluate_partition
+
+
+class TestMetrics:
+    def test_balance_near_one_for_striped_rmat(self, rmat_graph):
+        part = partition_2d(rmat_graph, Grid2D(4, 4))
+        m = evaluate_partition(part)
+        assert 1.0 <= m.edge_balance < 2.0
+        assert m.compute_efficiency == pytest.approx(1.0 / m.edge_balance)
+
+    def test_single_rank_perfect(self, rmat_graph):
+        m = evaluate_partition(partition_2d(rmat_graph, Grid2D(1, 1)))
+        assert m.edge_balance == 1.0
+        assert m.max_block_edges == rmat_graph.n_edges
+        assert m.max_state_vertices == rmat_graph.n_vertices
+
+    def test_state_shrinks_with_sqrt_p(self, rmat_graph):
+        """The O(N/sqrt(p)) state term (paper §2.2)."""
+        m4 = evaluate_partition(partition_2d(rmat_graph, Grid2D(2, 2)))
+        m16 = evaluate_partition(partition_2d(rmat_graph, Grid2D(4, 4)))
+        # doubling sqrt(p) halves the per-rank state (approximately)
+        assert m16.max_state_vertices == pytest.approx(
+            m4.max_state_vertices / 2, rel=0.1
+        )
+
+    def test_dense_volumes_reflect_grid_shape(self, rmat_graph):
+        """Wide grids shrink column slices (push volume), tall grids
+        shrink row slices (pull volume)."""
+        wide = evaluate_partition(partition_2d(rmat_graph, Grid2D(R=8, C=2)))
+        tall = evaluate_partition(partition_2d(rmat_graph, Grid2D(R=2, C=8)))
+        assert wide.dense_push_bytes_per_rank < tall.dense_push_bytes_per_rank
+        assert wide.dense_pull_bytes_per_rank > tall.dense_pull_bytes_per_rank
+
+    def test_block_distribution_worse_on_clustered_hubs(self):
+        """Metrics expose the distribution effect the ablation bench
+        measures (paper §3.4.2)."""
+        rng = np.random.default_rng(3)
+        n, medges = 2000, 30_000
+        w = (np.arange(n) + 5.0) ** -0.7
+        cdf = np.cumsum(w) / w.sum()
+        from repro.graph import Graph
+
+        g = Graph.from_edges(
+            np.searchsorted(cdf, rng.random(medges)),
+            np.searchsorted(cdf, rng.random(medges)),
+            n,
+        )
+        striped = evaluate_partition(partition_2d(g, Grid2D(4, 4), "striped"))
+        block = evaluate_partition(partition_2d(g, Grid2D(4, 4), "block"))
+        assert block.edge_balance > 1.5 * striped.edge_balance

@@ -1,0 +1,89 @@
+"""Vertex distribution (striping) tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    block_permutation,
+    group_ranges,
+    random_permutation,
+    striped_permutation,
+)
+
+
+class TestGroupRanges:
+    def test_even_split(self):
+        assert np.array_equal(group_ranges(12, 4), [0, 3, 6, 9, 12])
+
+    def test_ragged_split_front_loads_extras(self):
+        assert np.array_equal(group_ranges(10, 4), [0, 3, 6, 8, 10])
+
+    def test_more_groups_than_items(self):
+        r = group_ranges(2, 5)
+        assert r[-1] == 2
+        assert np.all(np.diff(r) >= 0)
+
+    def test_needs_positive_groups(self):
+        with pytest.raises(ValueError):
+            group_ranges(5, 0)
+
+
+class TestStriped:
+    def test_round_robin_assignment(self):
+        # With 2 groups over 6 vertices: evens to group 0, odds to 1.
+        perm = striped_permutation(6, 2)
+        ranges = group_ranges(6, 2)
+        for v in range(6):
+            group = v % 2
+            assert ranges[group] <= perm[v] < ranges[group + 1]
+
+    def test_order_preserved_within_group(self):
+        perm = striped_permutation(20, 3)
+        for g in range(3):
+            members = [v for v in range(20) if v % 3 == g]
+            new_ids = perm[members]
+            assert np.all(np.diff(new_ids) == 1)
+
+    def test_is_permutation(self):
+        perm = striped_permutation(17, 5)
+        assert np.array_equal(np.sort(perm), np.arange(17))
+
+    def test_single_group_is_identity(self):
+        assert np.array_equal(striped_permutation(9, 1), np.arange(9))
+
+    def test_balances_hub_clusters(self):
+        # Consecutive hub ids land in distinct groups.
+        perm = striped_permutation(100, 4)
+        ranges = group_ranges(100, 4)
+        groups = np.searchsorted(ranges, perm[:4], side="right") - 1
+        assert len(set(groups)) == 4
+
+
+class TestOtherDistributions:
+    def test_random_is_permutation_and_seeded(self):
+        a = random_permutation(50, 4, seed=1)
+        b = random_permutation(50, 4, seed=1)
+        c = random_permutation(50, 4, seed=2)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+        assert np.array_equal(np.sort(a), np.arange(50))
+
+    def test_block_is_identity(self):
+        assert np.array_equal(block_permutation(8, 3), np.arange(8))
+
+
+@settings(max_examples=50, deadline=None)
+@given(n=st.integers(1, 300), g=st.integers(1, 20))
+def test_property_striped_group_sizes_match_ranges(n, g):
+    """Striping fills exactly the contiguous ranges group_ranges makes."""
+    perm = striped_permutation(n, g)
+    ranges = group_ranges(n, g)
+    assert np.array_equal(np.sort(perm), np.arange(n))
+    counts = np.zeros(g, dtype=int)
+    for v in range(n):
+        grp = np.searchsorted(ranges, perm[v], side="right") - 1
+        assert grp == v % g
+        counts[grp] += 1
+    assert np.array_equal(counts, np.diff(ranges))

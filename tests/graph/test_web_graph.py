@@ -1,0 +1,57 @@
+"""Web-crawl stand-in generator tests (power-law core + pendant chains)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import web_graph
+from repro.reference import serial
+
+
+class TestStructure:
+    def test_sizes(self):
+        g = web_graph(2000, 10_000, chain_fraction=0.1, seed=1)
+        assert g.n_vertices == 2000
+        assert g.n_edges > 10_000
+
+    def test_chain_vertices_have_low_degree(self):
+        g = web_graph(2000, 10_000, chain_fraction=0.1, chain_length=20, seed=1)
+        chain = g.degrees()[1800:]
+        # interior chain vertices have degree 2, ends 1-2 (+anchor link)
+        assert chain.max() <= 3
+        assert chain.min() >= 1
+
+    def test_core_keeps_powerlaw_skew(self):
+        g = web_graph(2000, 20_000, seed=2)
+        core_degs = g.degrees()[: int(2000 * 0.95)]
+        assert core_degs.max() > 10 * max(np.median(core_degs), 1)
+
+    def test_chains_connected_to_core(self):
+        g = web_graph(1000, 8_000, chain_fraction=0.2, chain_length=25, seed=3)
+        labels = serial.connected_components(g)
+        core_label_of_chain = labels[int(1000 * 0.8) :]
+        # every chain hangs off some core vertex, so no chain vertex is
+        # in a chain-only component of size 1
+        sizes = np.bincount(labels)
+        assert np.all(sizes[core_label_of_chain] > 1)
+
+    def test_long_convergence_tail(self):
+        """The chains create the long CC tails the queue machinery
+        targets — the property the Fig. 6 bench depends on."""
+        from repro import Engine, algorithms
+
+        g = web_graph(3000, 30_000, chain_fraction=0.05, chain_length=40, seed=4)
+        res = algorithms.connected_components(Engine(g, 4))
+        assert res.iterations > 12
+
+    def test_deterministic(self):
+        a = web_graph(500, 2000, seed=9)
+        b = web_graph(500, 2000, seed=9)
+        assert np.array_equal(a.indices, b.indices)
+
+    def test_chain_fraction_validation(self):
+        with pytest.raises(ValueError):
+            web_graph(10, 100, chain_fraction=1.0)
+
+    def test_zero_chains_is_pure_powerlaw(self):
+        g = web_graph(600, 3000, chain_fraction=0.0, seed=5)
+        assert g.n_vertices == 600

@@ -1,0 +1,88 @@
+"""2.5D complex-reduction helper tests (paper §3.3.3)."""
+
+import numpy as np
+import pytest
+
+from repro.patterns.complex import (
+    build_histogram,
+    merge_histograms,
+    owner_chunks,
+    owner_of_vertex,
+    select_mode,
+)
+
+
+class TestHistogram:
+    def test_counts_pairs(self):
+        src = np.array([0, 0, 0, 1, 1])
+        lab = np.array([5.0, 5.0, 7.0, 5.0, 5.0])
+        h = build_histogram(src, lab)
+        as_dict = {(int(t["gid"]), float(t["label"])): int(t["count"]) for t in h}
+        assert as_dict == {(0, 5.0): 2, (0, 7.0): 1, (1, 5.0): 2}
+
+    def test_empty(self):
+        h = build_histogram(np.empty(0), np.empty(0))
+        assert h.size == 0
+
+    def test_merge_sums_counts(self):
+        a = build_histogram(np.array([0, 0]), np.array([1.0, 2.0]))
+        b = build_histogram(np.array([0, 1]), np.array([1.0, 1.0]))
+        merged = merge_histograms(np.concatenate([a, b]))
+        as_dict = {
+            (int(t["gid"]), float(t["label"])): int(t["count"]) for t in merged
+        }
+        assert as_dict == {(0, 1.0): 2, (0, 2.0): 1, (1, 1.0): 1}
+
+    def test_merge_empty(self):
+        assert merge_histograms(build_histogram(np.empty(0), np.empty(0))).size == 0
+
+
+class TestModeSelection:
+    def test_max_count_wins(self):
+        h = build_histogram(
+            np.array([0, 0, 0]), np.array([3.0, 3.0, 9.0])
+        )
+        gids, labels = select_mode(h)
+        assert gids.tolist() == [0]
+        assert labels.tolist() == [3.0]
+
+    def test_tie_breaks_to_smaller_label(self):
+        h = build_histogram(np.array([4, 4]), np.array([9.0, 2.0]))
+        gids, labels = select_mode(h)
+        assert labels.tolist() == [2.0]
+
+    def test_multiple_vertices(self):
+        h = build_histogram(
+            np.array([0, 0, 1, 1, 1]), np.array([1.0, 1.0, 8.0, 8.0, 2.0])
+        )
+        gids, labels = select_mode(h)
+        assert dict(zip(gids.tolist(), labels.tolist())) == {0: 1.0, 1: 8.0}
+
+    def test_empty(self):
+        gids, labels = select_mode(merge_histograms(build_histogram(np.empty(0), np.empty(0))))
+        assert gids.size == 0
+
+
+class TestOwnership:
+    def test_chunks_partition_range(self):
+        bounds = owner_chunks(10, 30, 4)
+        assert bounds[0] == 10 and bounds[-1] == 30
+        assert np.all(np.diff(bounds) >= 0)
+        assert bounds.size == 5
+
+    def test_ragged_chunks(self):
+        bounds = owner_chunks(0, 10, 3)
+        assert np.array_equal(np.diff(bounds), [4, 3, 3])
+
+    def test_owner_lookup(self):
+        bounds = owner_chunks(0, 12, 3)  # [0,4,8,12]
+        owners = owner_of_vertex(np.array([0, 3, 4, 11]), bounds)
+        assert owners.tolist() == [0, 0, 1, 2]
+
+    def test_every_vertex_owned_once(self):
+        bounds = owner_chunks(7, 29, 5)
+        gids = np.arange(7, 29)
+        owners = owner_of_vertex(gids, bounds)
+        assert owners.min() >= 0 and owners.max() < 5
+        # contiguous non-decreasing ownership
+        assert np.all(np.diff(owners) >= 0)

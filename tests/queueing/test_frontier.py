@@ -1,0 +1,79 @@
+"""CSR frontier expansion tests."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm.grid import Grid2D
+from repro.graph import partition_2d, path_graph, rmat
+from repro.queueing import expand_block, expand_csr
+
+from ..conftest import random_graph
+
+
+class TestExpandCSR:
+    def test_matches_manual_expansion(self):
+        g = rmat(6, seed=3)
+        rows = np.array([0, 5, 17], dtype=np.int64)
+        src, dst, eidx = expand_csr(g.indptr, g.indices, rows)
+        manual_src, manual_dst = [], []
+        for r in rows:
+            for u in g.neighbors(r):
+                manual_src.append(r)
+                manual_dst.append(u)
+        assert np.array_equal(src, manual_src)
+        assert np.array_equal(dst, manual_dst)
+        assert np.array_equal(g.indices[eidx], dst)
+
+    def test_empty_queue(self):
+        g = path_graph(5)
+        src, dst, eidx = expand_csr(g.indptr, g.indices, np.empty(0, dtype=np.int64))
+        assert src.size == dst.size == eidx.size == 0
+
+    def test_isolated_vertices(self):
+        from repro.graph import Graph
+
+        g = Graph.from_edges([0], [1], 4)  # vertices 2, 3 isolated
+        src, dst, _ = expand_csr(g.indptr, g.indices, np.array([2, 3]))
+        assert src.size == 0
+
+    def test_duplicate_queue_entries_expand_twice(self):
+        g = path_graph(3)
+        src, dst, _ = expand_csr(g.indptr, g.indices, np.array([1, 1]))
+        assert src.size == 4  # degree-2 vertex expanded twice
+
+
+class TestExpandBlock:
+    def test_lid_space_and_weights(self):
+        g = rmat(6, seed=1).with_random_weights(seed=2)
+        part = partition_2d(g, Grid2D(R=2, C=2))
+        blk = part.blocks[1]
+        lids = blk.row_lids()[:5]
+        src, dst, w = expand_block(blk, lids)
+        lm = blk.localmap
+        assert np.all((src >= lm.row_offset) & (src < lm.row_offset + lm.n_row))
+        if dst.size:
+            assert np.all((dst >= lm.col_offset) & (dst < lm.col_offset + lm.n_col))
+            assert w.shape == dst.shape
+
+    def test_unweighted_block(self):
+        g = rmat(5, seed=1)
+        part = partition_2d(g, Grid2D(R=2, C=1))
+        blk = part.blocks[0]
+        _, _, w = expand_block(blk, blk.row_lids())
+        assert w is None
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 5000))
+def test_property_expansion_counts(seed):
+    """Expanded edge count equals the summed degrees of the queue."""
+    g = random_graph(seed, n_max=60)
+    rng = np.random.default_rng(seed)
+    k = int(rng.integers(0, g.n_vertices))
+    rows = rng.choice(g.n_vertices, size=k, replace=False).astype(np.int64)
+    src, dst, _ = expand_csr(g.indptr, g.indices, rows)
+    assert src.size == int(g.degrees()[rows].sum())
+    # every (src, dst) pair is a real edge
+    for s, d in zip(src[:50], dst[:50]):
+        assert d in g.neighbors(s)

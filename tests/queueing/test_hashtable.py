@@ -1,0 +1,90 @@
+"""GPU hash-table emulation tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.patterns.complex import build_histogram
+from repro.queueing.hashtable import HashTable, histogram_via_hash_table
+
+
+class TestHashTable:
+    def test_insert_and_accumulate(self):
+        t = HashTable(16)
+        t.insert(np.array([1, 1, 2]), np.array([5, 5, 5]))
+        k1, k2, c = t.items()
+        entries = {(a, b): n for a, b, n in zip(k1, k2, c)}
+        assert entries == {(1, 5): 2, (2, 5): 1}
+
+    def test_counts_parameter(self):
+        t = HashTable(16)
+        t.insert(np.array([3]), np.array([4]), counts=np.array([7]))
+        t.insert(np.array([3]), np.array([4]), counts=np.array([2]))
+        _, _, c = t.items()
+        assert c.tolist() == [9]
+
+    def test_collisions_resolved(self):
+        # force heavy collisions with a tiny table
+        t = HashTable(64)
+        keys = np.arange(30)
+        t.insert(keys, np.zeros(30, dtype=np.int64))
+        assert t.n_entries == 30
+        assert t.probe_rounds >= 1
+
+    def test_duplicate_claims_within_batch(self):
+        # many copies of the same new key in one batch: one claim,
+        # everyone accumulates
+        t = HashTable(8)
+        t.insert(np.full(5, 9), np.full(5, 9))
+        k1, _, c = t.items()
+        assert k1.tolist() == [9]
+        assert c.tolist() == [5]
+
+    def test_overflow_raises(self):
+        t = HashTable(2)  # rounds to capacity 2
+        with pytest.raises(RuntimeError, match="overflow"):
+            t.insert(np.arange(10), np.arange(10))
+
+    def test_load_factor(self):
+        t = HashTable(16)
+        t.insert(np.arange(4), np.arange(4))
+        assert t.load_factor == pytest.approx(4 / 16)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            HashTable(0)
+
+    def test_empty_insert(self):
+        t = HashTable(8)
+        t.insert(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+        assert t.n_entries == 0
+
+
+class TestHistogramEquivalence:
+    def test_matches_sorted_formulation(self):
+        src = np.array([0, 0, 1, 1, 1, 2])
+        lab = np.array([3.0, 3.0, 5.0, 5.0, 2.0, 3.0])
+        a = build_histogram(src, lab)
+        b = histogram_via_hash_table(src, lab)
+        assert np.array_equal(a["gid"], b["gid"])
+        assert np.array_equal(a["label"], b["label"])
+        assert np.array_equal(a["count"], b["count"])
+
+    def test_empty(self):
+        assert histogram_via_hash_table(np.empty(0), np.empty(0)).size == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(1, 200),
+        seed=st.integers(0, 10_000),
+    )
+    def test_property_equivalence(self, n, seed):
+        """The hash-table path and the sorted run-length path produce
+        identical histograms for any input."""
+        rng = np.random.default_rng(seed)
+        src = rng.integers(0, 20, size=n)
+        lab = rng.integers(0, 10, size=n).astype(float)
+        a = build_histogram(src, lab)
+        b = histogram_via_hash_table(src, lab)
+        assert np.array_equal(a, b)

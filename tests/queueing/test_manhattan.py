@@ -1,0 +1,80 @@
+"""Load-balance schedule model tests (paper Alg. 6)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.queueing import (
+    manhattan_schedule,
+    vertex_per_thread_balance,
+)
+
+
+class TestManhattanSchedule:
+    def test_uniform_degrees_perfectly_balanced(self):
+        degs = np.full(256, 8, dtype=np.int64)
+        stats = manhattan_schedule(degs, block_size=256)
+        assert stats.balance == 1.0
+        assert stats.total_edges == 256 * 8
+
+    def test_skew_within_block_still_balanced(self):
+        # One hub among 255 leaves: the collapse spreads the hub's
+        # edges over the whole block.
+        degs = np.array([10_000] + [1] * 255, dtype=np.int64)
+        stats = manhattan_schedule(degs, block_size=256)
+        assert stats.balance > 0.95
+
+    def test_empty_queue(self):
+        stats = manhattan_schedule(np.empty(0, dtype=np.int64))
+        assert stats.balance == 1.0
+        assert stats.total_edges == 0
+
+    def test_block_count(self):
+        stats = manhattan_schedule(np.ones(1000, dtype=np.int64), block_size=256)
+        assert stats.n_blocks == 4
+
+    def test_negative_degree_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            manhattan_schedule(np.array([-1]))
+
+
+class TestVertexPerThread:
+    def test_uniform_degrees_balanced(self):
+        stats = vertex_per_thread_balance(np.full(64, 5, dtype=np.int64))
+        assert stats.balance == 1.0
+
+    def test_hub_collapses_warp(self):
+        # One hub in a warp of degree-1 vertices: warp runs at hub speed.
+        degs = np.array([1000] + [1] * 31, dtype=np.int64)
+        stats = vertex_per_thread_balance(degs)
+        assert stats.balance < 0.05
+        assert stats.max_thread_edges == 1000
+
+    def test_manhattan_beats_naive_on_powerlaw(self):
+        rng = np.random.default_rng(0)
+        degs = (1.0 / rng.random(4096) ** 0.7).astype(np.int64) + 1
+        m = manhattan_schedule(degs)
+        v = vertex_per_thread_balance(degs)
+        assert m.balance > v.balance
+
+    def test_empty(self):
+        stats = vertex_per_thread_balance(np.empty(0, dtype=np.int64))
+        assert stats.balance == 1.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    degs=st.lists(st.integers(0, 500), min_size=1, max_size=600),
+    block=st.sampled_from([32, 128, 256]),
+)
+def test_property_balance_bounds(degs, block):
+    """Balance is always in (0, 1] and work totals are preserved."""
+    degs = np.array(degs, dtype=np.int64)
+    for stats in (
+        manhattan_schedule(degs, block_size=block),
+        vertex_per_thread_balance(degs),
+    ):
+        assert 0 < stats.balance <= 1.0
+        assert stats.total_edges == int(degs.sum())

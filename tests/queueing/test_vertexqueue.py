@@ -1,0 +1,51 @@
+"""Active-vertex queue tests (q_in dedup semantics)."""
+
+import numpy as np
+
+from repro.queueing import VertexQueue, unique_new
+
+
+class TestUniqueNew:
+    def test_dedups_and_flags(self):
+        q_in = np.zeros(10, dtype=bool)
+        fresh = unique_new(np.array([3, 3, 5]), q_in)
+        assert fresh.tolist() == [3, 5]
+        assert q_in[3] and q_in[5]
+
+    def test_flagged_entries_skipped(self):
+        q_in = np.zeros(10, dtype=bool)
+        q_in[3] = True
+        fresh = unique_new(np.array([3, 4]), q_in)
+        assert fresh.tolist() == [4]
+
+    def test_empty_input(self):
+        q_in = np.zeros(4, dtype=bool)
+        assert unique_new(np.empty(0, dtype=np.int64), q_in).size == 0
+
+
+class TestVertexQueue:
+    def test_push_drain_cycle(self):
+        q = VertexQueue(8)
+        q.push(np.array([1, 2]))
+        q.push(np.array([2, 5]))  # 2 deduplicated
+        assert len(q) == 3
+        drained = q.drain()
+        assert drained.tolist() == [1, 2, 5]
+        assert q.empty
+        # flags lowered: re-insertion allowed next iteration
+        assert q.push(np.array([2])).size == 1
+
+    def test_peek_keeps_contents(self):
+        q = VertexQueue(8)
+        q.push(np.array([4, 1]))
+        assert q.peek().tolist() == [1, 4]
+        assert len(q) == 2
+
+    def test_drain_empty(self):
+        q = VertexQueue(4)
+        assert q.drain().size == 0
+
+    def test_push_returns_only_fresh(self):
+        q = VertexQueue(10)
+        assert q.push(np.array([7])).tolist() == [7]
+        assert q.push(np.array([7])).size == 0

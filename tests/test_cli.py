@@ -1,0 +1,72 @@
+"""Command-line interface tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "--algo", "CC"])
+        assert args.dataset == "TW"
+        assert args.ranks == 16
+        assert args.cluster == "aimos"
+
+    def test_invalid_algo_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--algo", "NOPE"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "WDC12" in out
+        assert "V100" in out
+
+    def test_run_cc(self, capsys):
+        rc = main(
+            ["run", "--algo", "CC", "--dataset", "TW", "--ranks", "4",
+             "--target-edges", str(1 << 12)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "GTEPS" in out
+        assert "stand-in" in out
+
+    def test_run_mwm_loads_weighted(self, capsys):
+        rc = main(
+            ["run", "--algo", "MWM", "--dataset", "FR", "--ranks", "4",
+             "--target-edges", str(1 << 11)]
+        )
+        assert rc == 0
+
+    def test_scaling_text(self, capsys):
+        rc = main(
+            ["scaling", "--dataset", "TW", "--algos", "CC", "--ranks", "1,4",
+             "--target-edges", str(1 << 12)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "strong scaling on TW" in out
+
+    def test_scaling_csv(self, capsys):
+        rc = main(
+            ["scaling", "--dataset", "TW", "--algos", "CC", "--ranks", "1",
+             "--target-edges", str(1 << 12), "--format", "csv"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.startswith("dataset,algo")
+
+    def test_scaling_markdown(self, capsys):
+        rc = main(
+            ["scaling", "--dataset", "TW", "--algos", "CC", "--ranks", "1",
+             "--target-edges", str(1 << 12), "--format", "markdown"]
+        )
+        assert rc == 0
+        assert "|---" in capsys.readouterr().out

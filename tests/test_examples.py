@@ -1,0 +1,45 @@
+"""Smoke tests: every example script runs end-to-end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def _run(script: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        proc = _run("quickstart.py", "9", "4")
+        assert proc.returncode == 0, proc.stderr
+        assert "matches serial reference: True" in proc.stdout
+        assert "PageRank" in proc.stdout
+
+    def test_webgraph_analysis(self):
+        proc = _run("webgraph_analysis.py", "16")
+        assert proc.returncode == 0, proc.stderr
+        assert "connected components:" in proc.stdout
+        assert "GTEPS projected" in proc.stdout
+
+    def test_matching_and_forests(self):
+        proc = _run("matching_and_forests.py", "4")
+        assert proc.returncode == 0, proc.stderr
+        assert "validity check passed" in proc.stdout
+        assert "pointer jumping" in proc.stdout
+
+    def test_extensions_tour(self):
+        proc = _run("extensions_tour.py", "4")
+        assert proc.returncode == 0, proc.stderr
+        assert "k-core decomposition" in proc.stdout
+        assert "triangles:" in proc.stdout
+        assert "widest-path" in proc.stdout
