@@ -18,11 +18,21 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 @pytest.fixture
 def record_results():
-    """Persist a bench's printed table under benchmarks/results/."""
+    """Persist a bench's printed table under benchmarks/results/.
 
-    def _write(name: str, text: str) -> None:
+    Passing ``rows`` additionally writes ``<name>.json`` — the
+    structured export with exact per-iteration traces
+    (:func:`repro.bench.reporting.to_json`) that downstream tooling
+    regresses against.
+    """
+
+    def _write(name: str, text: str, rows=None) -> None:
         RESULTS_DIR.mkdir(exist_ok=True)
         (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        if rows is not None:
+            from repro.bench.reporting import to_json
+
+            (RESULTS_DIR / f"{name}.json").write_text(to_json(rows, title=name) + "\n")
         print()
         print(text)
 

@@ -119,8 +119,8 @@ class OneDEngine:
 
         self.topology = Topology(cluster, n_ranks)
         self.costmodel = CostModel(cluster.gpu, self.topology, profile)
-        self.clocks = VirtualClocks(n_ranks)
         self.counters = CommCounters()
+        self.clocks = VirtualClocks(n_ranks, counters=self.counters)
         self.comm = Communicator(self.costmodel, self.clocks, self.counters)
         self.states: list[dict[str, np.ndarray]] = [dict() for _ in range(n_ranks)]
 

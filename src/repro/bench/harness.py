@@ -28,6 +28,7 @@ from ..cluster.config import AIMOS, ClusterConfig
 from ..comm.grid import Grid2D, square_grid
 from ..core.engine import Engine
 from ..core.result import AlgorithmResult
+from ..core.trace import IterationTrace, TraceRecorder
 from ..graph.datasets import LoadedDataset, load
 
 __all__ = [
@@ -119,10 +120,17 @@ def run_algorithm(
     full_scale_edges: Optional[int] = None,
     **kwargs,
 ) -> ExperimentRow:
-    """Run one algorithm and package the timings as a row."""
+    """Run one algorithm and package the timings as a row.
+
+    The row carries the exact per-iteration trace
+    (``extra["trace"]``: a list of
+    :class:`~repro.core.trace.IterationTrace`), so comm/comp splits and
+    traffic decay curves downstream come from measured counter deltas.
+    """
     if algo not in ALGORITHMS:
         raise ValueError(f"unknown algorithm {algo!r}; choose from {sorted(ALGORITHMS)}")
     result = ALGORITHMS[algo](engine, **kwargs)
+    trace: list[IterationTrace] = TraceRecorder(engine).collect(result)
     edges = full_scale_edges if full_scale_edges else engine.graph.n_edges
     return ExperimentRow(
         experiment=experiment,
@@ -135,7 +143,7 @@ def run_algorithm(
         time_comm=result.timings.comm,
         iterations=result.iterations,
         teps=result.timings.teps(edges),
-        extra={"counters": result.counters},
+        extra={"counters": result.counters, "trace": trace},
     )
 
 

@@ -1,19 +1,24 @@
-"""Result export: aligned text, Markdown, and CSV writers.
+"""Result export: aligned text, Markdown, CSV, and JSON writers.
 
 The bench harness produces :class:`~repro.bench.harness.ExperimentRow`
 records; this module renders them for humans (Markdown tables in the
-style of EXPERIMENTS.md) and for downstream tooling (CSV).
+style of EXPERIMENTS.md) and for downstream tooling (CSV, plus a
+structured JSON export carrying the exact per-iteration traces so
+``benchmarks/results/`` comm/comp splits come from measured counter
+deltas, not time-share apportioning).
 """
 
 from __future__ import annotations
 
 import csv
 import io
-from typing import Sequence
+import json
+from typing import Any, Sequence
 
+from ..core.trace import TRACE_SCHEMA, IterationTrace
 from .harness import ExperimentRow
 
-__all__ = ["to_markdown", "to_csv", "speedup_table"]
+__all__ = ["to_markdown", "to_csv", "to_json", "comm_split", "speedup_table"]
 
 _COLUMNS = [
     ("dataset", lambda r: r.dataset),
@@ -50,6 +55,66 @@ def to_csv(rows: Sequence[ExperimentRow]) -> str:
     for r in rows:
         writer.writerow([fn(r) for _, fn in _COLUMNS] + [r.experiment])
     return buf.getvalue()
+
+
+def comm_split(row: ExperimentRow) -> dict[str, Any]:
+    """Measured comm/comp decomposition of one row.
+
+    Sums the row's exact per-iteration trace (attached by
+    :func:`~repro.bench.harness.run_algorithm`); the time sums equal
+    the row's clock totals and the traffic sums equal the run's
+    ``CommCounters`` totals bit-for-bit.
+    """
+    trace: Sequence[IterationTrace] = row.extra.get("trace", ())
+    if not trace:
+        raise ValueError(
+            f"row {row.dataset}/{row.algorithm} carries no trace; "
+            "was it produced by run_algorithm?"
+        )
+    return {
+        "compute_s": sum(t.compute_s for t in trace),
+        "comm_s": sum(t.comm_s for t in trace),
+        "bytes": sum(t.bytes for t in trace),
+        "serial_messages": sum(t.serial_messages for t in trace),
+        "transfers": sum(t.transfers for t in trace),
+        "iterations": len(trace),
+    }
+
+
+def to_json(rows: Sequence[ExperimentRow], title: str = "") -> str:
+    """Structured export: row metrics plus exact per-iteration traces.
+
+    The shape written next to the CSV/text tables under
+    ``benchmarks/results/``::
+
+        {"schema": ..., "title": ..., "rows": [
+            {"dataset": ..., "algo": ..., ...,
+             "counters": {kind: {calls, serial_messages, transfers, bytes}},
+             "per_iteration": [<IterationTrace.as_dict() rows>]},
+        ]}
+    """
+    payload: dict[str, Any] = {"schema": TRACE_SCHEMA, "title": title, "rows": []}
+    for r in rows:
+        entry: dict[str, Any] = {
+            "experiment": r.experiment,
+            "dataset": r.dataset,
+            "algo": r.algorithm,
+            "ranks": r.n_ranks,
+            "grid": r.grid,
+            "total_s": r.time_total,
+            "compute_s": r.time_compute,
+            "comm_s": r.time_comm,
+            "iterations": r.iterations,
+            "teps": r.teps,
+        }
+        counters = r.extra.get("counters")
+        if counters:
+            entry["counters"] = counters
+        trace: Sequence[IterationTrace] = r.extra.get("trace", ())
+        if trace:
+            entry["per_iteration"] = [t.as_dict() for t in trace]
+        payload["rows"].append(entry)
+    return json.dumps(payload, indent=2)
 
 
 def speedup_table(

@@ -14,6 +14,14 @@ Commands
 
         python -m repro scaling --dataset GSH --algos BFS,PR,CC --ranks 1,4,16,64
 
+``trace``
+    Run one algorithm and emit its exact per-iteration comm/compute
+    breakdown (counter-snapshot deltas, not time-share estimates) as
+    CSV and/or JSON::
+
+        python -m repro trace --algo CC --dataset TW --ranks 16
+        python -m repro trace --algo PR --dataset RMAT12 --ranks 4 --out pr_trace
+
 ``info``
     Show the registered datasets, machines, and algorithms.
 """
@@ -21,11 +29,13 @@ Commands
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
 
 from .bench.harness import ALGORITHMS, format_rows, make_engine, run_algorithm, strong_scaling
 from .bench.reporting import to_csv, to_markdown
 from .cluster.config import AIMOS, DGX, ZEPY
+from .core.trace import TraceRecorder
 from .graph.datasets import available, load
 
 _CLUSTERS = {"aimos": AIMOS, "zepy": ZEPY, "dgx": DGX}
@@ -73,6 +83,64 @@ def _cmd_scaling(args: argparse.Namespace) -> int:
     else:
         print(format_rows(rows, f"strong scaling on {args.dataset}"))
     return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    ds = load(
+        args.dataset,
+        target_edges=args.target_edges,
+        seed=args.seed,
+        weighted=args.algo.upper() in ("MWM",),
+    )
+    engine = make_engine(ds, args.ranks, cluster=_CLUSTERS[args.cluster])
+    row = run_algorithm(
+        args.algo.upper(),
+        engine,
+        experiment="trace",
+        dataset=args.dataset.upper(),
+        full_scale_edges=ds.meta.n_edges,
+    )
+    rows = row.extra["trace"]
+    meta = {
+        "algo": row.algorithm,
+        "dataset": row.dataset,
+        "ranks": row.n_ranks,
+        "grid": row.grid,
+        "cluster": args.cluster,
+        "note": ds.note,
+    }
+    csv_text = TraceRecorder.to_csv(rows)
+    json_text = TraceRecorder.to_json(rows, meta=meta)
+
+    if args.out:
+        out = pathlib.Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        csv_path = out.with_suffix(".csv")
+        json_path = out.with_suffix(".json")
+        csv_path.write_text(csv_text)
+        json_path.write_text(json_text)
+        print(f"wrote {csv_path}")
+        print(f"wrote {json_path}")
+    else:
+        if args.format in ("csv", "both"):
+            print(csv_text, end="")
+        if args.format in ("json", "both"):
+            print(json_text)
+
+    # Exactness check: trace rows must reproduce the run totals.
+    c = engine.counters
+    exact = (
+        sum(r.bytes for r in rows) == c.total_bytes
+        and sum(r.serial_messages for r in rows) == c.total_serial_messages
+        and sum(r.transfers for r in rows) == c.total_transfers
+    )
+    print(
+        f"# {row.algorithm} on {row.dataset}: {len(rows)} iterations, "
+        f"{c.total_bytes} bytes, {c.total_serial_messages} serial messages "
+        f"({'exact' if exact else 'MISMATCH'})",
+        file=sys.stderr,
+    )
+    return 0 if exact else 1
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
@@ -129,6 +197,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--format", choices=["text", "markdown", "csv"], default="text"
     )
     scaling.set_defaults(func=_cmd_scaling)
+
+    trace = sub.add_parser(
+        "trace", help="per-iteration comm/compute breakdown of one run"
+    )
+    trace.add_argument("--algo", required=True, choices=sorted(ALGORITHMS) + [a.lower() for a in ALGORITHMS])
+    trace.add_argument("--dataset", default="TW")
+    trace.add_argument("--ranks", type=int, default=16)
+    trace.add_argument("--cluster", choices=sorted(_CLUSTERS), default="aimos")
+    trace.add_argument("--target-edges", type=int, default=1 << 16)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument(
+        "--format", choices=["csv", "json", "both"], default="both",
+        help="what to print when --out is not given",
+    )
+    trace.add_argument(
+        "--out", default=None, metavar="PREFIX",
+        help="write PREFIX.csv and PREFIX.json instead of printing",
+    )
+    trace.set_defaults(func=_cmd_trace)
 
     info = sub.add_parser("info", help="list datasets, machines, algorithms")
     info.set_defaults(func=_cmd_info)

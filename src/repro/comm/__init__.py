@@ -2,7 +2,7 @@
 
 from .clocks import PhaseTimes, VirtualClocks
 from .collectives import REDUCE_OPS, BroadcastCall, Communicator
-from .counters import CommCounters, OpStats
+from .counters import CommCounters, CounterSnapshot, OpStats
 from .grid import Grid2D, factor_pairs, square_grid
 
 __all__ = [
@@ -12,6 +12,7 @@ __all__ = [
     "BroadcastCall",
     "Communicator",
     "CommCounters",
+    "CounterSnapshot",
     "OpStats",
     "Grid2D",
     "factor_pairs",

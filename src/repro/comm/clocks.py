@@ -13,9 +13,12 @@ all ranks"), with computation and communication tracked separately
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .counters import CommCounters, CounterSnapshot
 
 __all__ = ["PhaseTimes", "VirtualClocks"]
 
@@ -37,16 +40,25 @@ class PhaseTimes:
 
 
 class VirtualClocks:
-    """Virtual time state for ``n_ranks`` simulated ranks."""
+    """Virtual time state for ``n_ranks`` simulated ranks.
 
-    def __init__(self, n_ranks: int):
+    When ``counters`` is supplied, every :meth:`mark_iteration`
+    additionally snapshots the counters, so per-iteration traffic can
+    later be reconstructed *exactly* (consecutive-snapshot deltas sum
+    to run totals by construction — the invariant
+    :class:`~repro.core.trace.TraceRecorder` relies on).
+    """
+
+    def __init__(self, n_ranks: int, counters: Optional["CommCounters"] = None):
         if n_ranks < 1:
             raise ValueError("need at least one rank")
         self.n_ranks = n_ranks
+        self.counters = counters
         self.clock = np.zeros(n_ranks)
         self.compute = np.zeros(n_ranks)
         self.comm = np.zeros(n_ranks)
         self.iteration_marks: list[PhaseTimes] = []
+        self.counter_marks: list["CounterSnapshot"] = []
 
     # ------------------------------------------------------------------
     # charging
@@ -95,7 +107,11 @@ class VirtualClocks:
 
     def mark_iteration(self) -> PhaseTimes:
         """Record an iteration boundary; returns the delta since the
-        previous mark (or since start)."""
+        previous mark (or since start).
+
+        With counters attached, also snapshots them so the boundary
+        carries the exact cumulative traffic at this point.
+        """
         now = self.snapshot()
         prev = (
             self.iteration_marks[-1]
@@ -103,6 +119,8 @@ class VirtualClocks:
             else PhaseTimes(0.0, 0.0, 0.0)
         )
         self.iteration_marks.append(now)
+        if self.counters is not None:
+            self.counter_marks.append(self.counters.snapshot())
         return now - prev
 
     @property

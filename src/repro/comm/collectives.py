@@ -172,8 +172,13 @@ class Communicator:
         self._check_group(ranks, send_buffers)
         k = len(ranks)
         arrays = [np.asarray(b) for b in send_buffers]
+        # Preserve the send-buffer dtype even when every buffer is empty
+        # (structured consumers index fields like rbuf["gid"], which a
+        # plain float64 np.empty(0) would break).
         result = (
-            np.concatenate(arrays) if arrays else np.empty(0)
+            np.concatenate(arrays)
+            if any(a.size for a in arrays)
+            else np.empty(0, dtype=arrays[0].dtype if arrays else np.float64)
         )
         total = int(sum(a.nbytes for a in arrays))
         t = self.costmodel.allgather_time(ranks, total, nic_sharing=nic_sharing)
@@ -217,8 +222,11 @@ class Communicator:
         total = 0
         for j in range(k):
             parts = [np.asarray(send_matrix[i][j]) for i in range(k)]
+            # As in allgatherv: an all-empty column keeps its dtype.
             received.append(
-                np.concatenate(parts) if parts else np.empty(0)
+                np.concatenate(parts)
+                if any(p.size for p in parts)
+                else np.empty(0, dtype=parts[0].dtype if parts else np.float64)
             )
             for p in parts:
                 total += p.nbytes

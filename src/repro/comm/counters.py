@@ -20,8 +20,10 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Mapping
 
-__all__ = ["OpStats", "CommCounters"]
+__all__ = ["OpStats", "CounterSnapshot", "CommCounters"]
 
 
 @dataclass
@@ -39,6 +41,86 @@ class OpStats:
         self.transfers += transfers
         self.bytes += int(nbytes)
 
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "calls": self.calls,
+            "serial_messages": self.serial_messages,
+            "transfers": self.transfers,
+            "bytes": self.bytes,
+        }
+
+
+@dataclass(frozen=True)
+class CounterSnapshot:
+    """Immutable point-in-time copy of :class:`CommCounters`.
+
+    Snapshots are taken at iteration boundaries
+    (:meth:`~repro.comm.clocks.VirtualClocks.mark_iteration`) so that
+    per-iteration traffic can be recovered *exactly* by subtracting
+    consecutive snapshots — integer arithmetic, no apportioning.
+    """
+
+    by_kind: Mapping[str, OpStats]
+
+    @classmethod
+    def empty(cls) -> "CounterSnapshot":
+        return cls(by_kind=MappingProxyType({}))
+
+    @classmethod
+    def of(cls, counters: "CommCounters") -> "CounterSnapshot":
+        return cls(
+            by_kind=MappingProxyType(
+                {
+                    kind: OpStats(s.calls, s.serial_messages, s.transfers, s.bytes)
+                    for kind, s in counters.by_kind.items()
+                }
+            )
+        )
+
+    def __sub__(self, prev: "CounterSnapshot") -> "CounterSnapshot":
+        """Exact per-kind delta (kinds with no activity are dropped)."""
+        delta: dict[str, OpStats] = {}
+        for kind, s in self.by_kind.items():
+            p = prev.by_kind.get(kind, OpStats())
+            d = OpStats(
+                calls=s.calls - p.calls,
+                serial_messages=s.serial_messages - p.serial_messages,
+                transfers=s.transfers - p.transfers,
+                bytes=s.bytes - p.bytes,
+            )
+            if d.calls or d.serial_messages or d.transfers or d.bytes:
+                delta[kind] = d
+        return CounterSnapshot(by_kind=MappingProxyType(delta))
+
+    # totals mirror CommCounters so either can feed reports
+    @property
+    def total_serial_messages(self) -> int:
+        return sum(s.serial_messages for s in self.by_kind.values())
+
+    @property
+    def total_transfers(self) -> int:
+        return sum(s.transfers for s in self.by_kind.values())
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(s.bytes for s in self.by_kind.values())
+
+    @property
+    def total_calls(self) -> int:
+        return sum(s.calls for s in self.by_kind.values())
+
+    def __bool__(self) -> bool:
+        return any(
+            s.calls or s.serial_messages or s.transfers or s.bytes
+            for s in self.by_kind.values()
+        )
+
+    def summary(self) -> dict[str, dict[str, int]]:
+        return {kind: s.as_dict() for kind, s in sorted(self.by_kind.items())}
+
+    def calls_by_kind(self) -> dict[str, int]:
+        return {kind: s.calls for kind, s in sorted(self.by_kind.items())}
+
 
 @dataclass
 class CommCounters:
@@ -50,6 +132,10 @@ class CommCounters:
         self, kind: str, serial_messages: int, transfers: int, nbytes: int
     ) -> None:
         self.by_kind[kind].add(serial_messages, transfers, nbytes)
+
+    def snapshot(self) -> CounterSnapshot:
+        """Immutable copy of the current per-kind statistics."""
+        return CounterSnapshot.of(self)
 
     # ------------------------------------------------------------------
     # totals

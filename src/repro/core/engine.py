@@ -107,8 +107,8 @@ class Engine:
         )
         self.topology = Topology(cluster, grid.n_ranks)
         self.costmodel = CostModel(cluster.gpu, self.topology, profile)
-        self.clocks = VirtualClocks(grid.n_ranks)
         self.counters = CommCounters()
+        self.clocks = VirtualClocks(grid.n_ranks, counters=self.counters)
         self.comm = Communicator(self.costmodel, self.clocks, self.counters)
         self.contexts: list[RankContext] = [
             RankContext(
@@ -246,8 +246,8 @@ class Engine:
     # ------------------------------------------------------------------
     def reset_timers(self) -> None:
         """Zero all clocks and counters (before a timed run)."""
-        self.clocks = VirtualClocks(self.n_ranks)
         self.counters = CommCounters()
+        self.clocks = VirtualClocks(self.n_ranks, counters=self.counters)
         self.comm = Communicator(self.costmodel, self.clocks, self.counters)
 
     def timing_report(self) -> TimingReport:

@@ -3,27 +3,42 @@
 The paper's Figs. 3 and 5 decompose run time into computation and
 communication; finer analyses (which collective kind dominates, how
 volume decays over the iteration tail) need per-iteration records.  A
-:class:`TraceRecorder` wraps an engine run and snapshots clocks and
-counters at every iteration mark, yielding rows that export to CSV for
-plotting or regression tracking.
+:class:`TraceRecorder` wraps an engine run and reads the clock and
+counter snapshots taken at every iteration mark, yielding rows that
+are *exact*: summing any counter column over the rows reproduces the
+run's :class:`~repro.comm.counters.CommCounters` totals bit-for-bit.
+Rows export to CSV (flat columns), JSON (full per-kind structure), or
+JSONL (one object per iteration) for plotting or regression tracking.
 """
 
 from __future__ import annotations
 
 import csv
 import io
+import json
 from dataclasses import dataclass, field
 from typing import Any
 
-from ..comm.counters import CommCounters
-from .engine import Engine
+from ..comm.clocks import PhaseTimes
+from ..comm.counters import CounterSnapshot
 
-__all__ = ["IterationTrace", "TraceRecorder"]
+__all__ = ["IterationTrace", "TraceRecorder", "TRACE_SCHEMA"]
+
+#: Version tag stamped into JSON exports so downstream consumers can
+#: detect schema changes.
+TRACE_SCHEMA = "repro.trace.v1"
 
 
 @dataclass(frozen=True)
 class IterationTrace:
-    """One BSP iteration's deltas."""
+    """One BSP iteration's deltas — measured, not apportioned.
+
+    ``bytes`` / ``serial_messages`` / ``transfers`` are the exact
+    counter deltas between this iteration's boundary snapshots;
+    ``by_kind`` breaks all four statistics down per collective kind
+    and ``calls_by_kind`` is its calls-only view.  Every row owns its
+    dicts (no sharing across rows).
+    """
 
     iteration: int
     total_s: float
@@ -31,11 +46,41 @@ class IterationTrace:
     comm_s: float
     bytes: int
     serial_messages: int
+    transfers: int = 0
     calls_by_kind: dict[str, int] = field(default_factory=dict)
+    by_kind: dict[str, dict[str, int]] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        """Plain-dict view (the JSON row shape)."""
+        return {
+            "iteration": self.iteration,
+            "total_s": self.total_s,
+            "compute_s": self.compute_s,
+            "comm_s": self.comm_s,
+            "bytes": self.bytes,
+            "serial_messages": self.serial_messages,
+            "transfers": self.transfers,
+            "calls_by_kind": dict(self.calls_by_kind),
+            "by_kind": {k: dict(v) for k, v in self.by_kind.items()},
+        }
+
+
+def _row(index: int, dt: PhaseTimes, dc: CounterSnapshot) -> IterationTrace:
+    return IterationTrace(
+        iteration=index,
+        total_s=dt.total,
+        compute_s=dt.compute,
+        comm_s=dt.comm,
+        bytes=dc.total_bytes,
+        serial_messages=dc.total_serial_messages,
+        transfers=dc.total_transfers,
+        calls_by_kind=dc.calls_by_kind(),
+        by_kind=dc.summary(),
+    )
 
 
 class TraceRecorder:
-    """Snapshots an engine's clocks/counters at iteration boundaries.
+    """Builds exact per-iteration rows from an engine's boundary snapshots.
 
     Usage::
 
@@ -45,59 +90,99 @@ class TraceRecorder:
         print(rec.to_csv(rows))
 
     Works with any algorithm that calls ``clocks.mark_iteration()``
-    (all of them do); the recorder reconstructs per-iteration deltas
-    from the cumulative marks after the run, so it adds no overhead
-    and needs no hooks inside the algorithms.
+    (all of them do): the engine attaches its ``CommCounters`` to its
+    ``VirtualClocks``, so every mark snapshots the cumulative counter
+    state alongside the clock state.  ``collect`` subtracts consecutive
+    snapshots — integer arithmetic on measured values, so rows sum to
+    the run totals by construction.  Work before the first mark (e.g.
+    degree precomputation) lands in iteration 1; work after the last
+    mark, if any, is emitted as one trailing row so nothing is lost.
     """
 
-    def __init__(self, engine: Engine):
+    def __init__(self, engine: Any):
         self.engine = engine
 
-    def collect(self, result: Any = None) -> list[IterationTrace]:
-        """Build per-iteration rows from the completed run's marks.
+    def collect(self, result: Any = None, include_tail: bool = True) -> list[IterationTrace]:
+        """Build per-iteration rows from the completed run's snapshots.
 
-        Counter deltas are only available in aggregate (counters are
-        not snapshotted per mark), so byte/message columns report the
-        run totals apportioned by each iteration's comm-time share — a
-        faithful approximation for plotting decay curves.
+        ``include_tail=False`` drops any activity recorded after the
+        final iteration mark (rows then cover marked iterations only
+        and may sum short of the run totals).
         """
-        marks = self.engine.clocks.iteration_marks
-        counters: CommCounters = self.engine.counters
-        total_comm = max(sum(
-            (m.comm - (marks[i - 1].comm if i else 0.0)) for i, m in enumerate(marks)
-        ), 1e-30)
-        rows: list[IterationTrace] = []
-        prev_total = prev_comp = prev_comm = 0.0
-        calls = {k: v.calls for k, v in counters.by_kind.items()}
-        for i, m in enumerate(marks):
-            d_total = m.total - prev_total
-            d_comp = m.compute - prev_comp
-            d_comm = m.comm - prev_comm
-            prev_total, prev_comp, prev_comm = m.total, m.compute, m.comm
-            share = d_comm / total_comm
-            rows.append(
-                IterationTrace(
-                    iteration=i + 1,
-                    total_s=d_total,
-                    compute_s=d_comp,
-                    comm_s=d_comm,
-                    bytes=int(counters.total_bytes * share),
-                    serial_messages=int(counters.total_serial_messages * share),
-                    calls_by_kind=calls if i == len(marks) - 1 else {},
-                )
+        del result  # accepted for call-site symmetry; not needed
+        clocks = self.engine.clocks
+        marks = clocks.iteration_marks
+        cmarks = clocks.counter_marks
+        if marks and len(cmarks) != len(marks):
+            raise ValueError(
+                "clock marks lack counter snapshots: construct VirtualClocks "
+                "with counters=... (Engine does this) before the run"
             )
+        rows: list[IterationTrace] = []
+        prev_t = PhaseTimes(0.0, 0.0, 0.0)
+        prev_c = CounterSnapshot.empty()
+        for i, (m, c) in enumerate(zip(marks, cmarks)):
+            rows.append(_row(i + 1, m - prev_t, c - prev_c))
+            prev_t, prev_c = m, c
+        if include_tail:
+            end_t = clocks.snapshot()
+            end_c = (
+                clocks.counters.snapshot()
+                if clocks.counters is not None
+                else prev_c
+            )
+            dt, dc = end_t - prev_t, end_c - prev_c
+            if dc or dt.total > 0.0:
+                rows.append(_row(len(marks) + 1, dt, dc))
         return rows
 
+    # ------------------------------------------------------------------
+    # exports
+    # ------------------------------------------------------------------
     @staticmethod
     def to_csv(rows: list[IterationTrace]) -> str:
         buf = io.StringIO()
         writer = csv.writer(buf)
         writer.writerow(
-            ["iteration", "total_s", "compute_s", "comm_s", "bytes", "serial_messages"]
+            ["iteration", "total_s", "compute_s", "comm_s", "bytes",
+             "serial_messages", "transfers", "calls"]
         )
         for r in rows:
             writer.writerow(
                 [r.iteration, f"{r.total_s:.9f}", f"{r.compute_s:.9f}",
-                 f"{r.comm_s:.9f}", r.bytes, r.serial_messages]
+                 f"{r.comm_s:.9f}", r.bytes, r.serial_messages, r.transfers,
+                 sum(r.calls_by_kind.values())]
             )
         return buf.getvalue()
+
+    @staticmethod
+    def to_json(rows: list[IterationTrace], meta: dict[str, Any] | None = None) -> str:
+        """Full structured export: schema tag, rows, and exact totals."""
+        payload: dict[str, Any] = {"schema": TRACE_SCHEMA}
+        if meta:
+            payload["meta"] = dict(meta)
+        payload["iterations"] = [r.as_dict() for r in rows]
+        totals_by_kind: dict[str, dict[str, int]] = {}
+        for r in rows:
+            for kind, stats in r.by_kind.items():
+                agg = totals_by_kind.setdefault(
+                    kind,
+                    {"calls": 0, "serial_messages": 0, "transfers": 0, "bytes": 0},
+                )
+                for key, v in stats.items():
+                    agg[key] += v
+        payload["totals"] = {
+            "total_s": sum(r.total_s for r in rows),
+            "compute_s": sum(r.compute_s for r in rows),
+            "comm_s": sum(r.comm_s for r in rows),
+            "bytes": sum(r.bytes for r in rows),
+            "serial_messages": sum(r.serial_messages for r in rows),
+            "transfers": sum(r.transfers for r in rows),
+            "by_kind": dict(sorted(totals_by_kind.items())),
+        }
+        return json.dumps(payload, indent=2, sort_keys=False)
+
+    @staticmethod
+    def to_jsonl(rows: list[IterationTrace]) -> str:
+        """One JSON object per iteration (streaming-friendly)."""
+        return "\n".join(json.dumps(r.as_dict()) for r in rows) + ("\n" if rows else "")

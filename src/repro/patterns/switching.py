@@ -50,6 +50,18 @@ class SwitchPolicy:
     def __post_init__(self) -> None:
         if self.mode not in ("dense", "sparse", "switch"):
             raise ValueError(f"unknown mode {self.mode!r}")
+        if self.n_vertices <= 0:
+            raise ValueError(f"n_vertices must be positive, got {self.n_vertices}")
+        if self.threshold_factor <= 0:
+            raise ValueError(
+                f"threshold_factor must be positive, got {self.threshold_factor}"
+            )
+        self._sparse_now = self.mode == "sparse"
+
+    def reset(self) -> None:
+        """Return to the initial state so one policy instance can be
+        reused across runs (a switched policy otherwise stays sparse
+        forever, poisoning the next run's early dense iterations)."""
         self._sparse_now = self.mode == "sparse"
 
     @property

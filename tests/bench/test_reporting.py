@@ -1,11 +1,21 @@
 """Result export tests."""
 
+import json
+
 import pytest
 
-from repro.bench import ExperimentRow, speedup_table, to_csv, to_markdown
+from repro.bench import (
+    ExperimentRow,
+    comm_split,
+    speedup_table,
+    to_csv,
+    to_json,
+    to_markdown,
+)
+from repro.core.trace import IterationTrace
 
 
-def _row(ranks, total, dataset="TW", algo="CC"):
+def _row(ranks, total, dataset="TW", algo="CC", extra=None):
     return ExperimentRow(
         experiment="e",
         dataset=dataset,
@@ -17,7 +27,23 @@ def _row(ranks, total, dataset="TW", algo="CC"):
         time_comm=total * 0.4,
         iterations=5,
         teps=1e9 / total,
+        extra=extra or {},
     )
+
+
+def _trace_rows():
+    return [
+        IterationTrace(
+            iteration=i + 1, total_s=1.0, compute_s=0.6, comm_s=0.4,
+            bytes=100 * (i + 1), serial_messages=4, transfers=8,
+            calls_by_kind={"allreduce": 2},
+            by_kind={"allreduce": {
+                "calls": 2, "serial_messages": 4, "transfers": 8,
+                "bytes": 100 * (i + 1),
+            }},
+        )
+        for i in range(3)
+    ]
 
 
 class TestMarkdown:
@@ -45,6 +71,54 @@ class TestCsv:
     def test_experiment_column(self):
         text = to_csv([_row(4, 2.0)])
         assert text.strip().splitlines()[1].endswith("e")
+
+
+class TestJson:
+    def test_rows_with_traces(self):
+        row = _row(4, 3.0, extra={"trace": _trace_rows(), "counters": {"allreduce": {"calls": 6, "serial_messages": 12, "transfers": 24, "bytes": 600}}})
+        doc = json.loads(to_json([row], title="t"))
+        assert doc["title"] == "t"
+        entry = doc["rows"][0]
+        assert entry["algo"] == "CC"
+        assert len(entry["per_iteration"]) == 3
+        assert entry["per_iteration"][2]["bytes"] == 300
+        assert entry["counters"]["allreduce"]["bytes"] == 600
+
+    def test_rows_without_traces_still_export(self):
+        doc = json.loads(to_json([_row(4, 3.0)]))
+        assert "per_iteration" not in doc["rows"][0]
+        assert doc["rows"][0]["ranks"] == 4
+
+
+class TestCommSplit:
+    def test_sums_trace_columns(self):
+        row = _row(4, 3.0, extra={"trace": _trace_rows()})
+        split = comm_split(row)
+        assert split["compute_s"] == pytest.approx(1.8)
+        assert split["comm_s"] == pytest.approx(1.2)
+        assert split["bytes"] == 600
+        assert split["serial_messages"] == 12
+        assert split["transfers"] == 24
+        assert split["iterations"] == 3
+
+    def test_missing_trace_rejected(self):
+        with pytest.raises(ValueError, match="no trace"):
+            comm_split(_row(4, 3.0))
+
+    def test_harness_rows_carry_exact_traces(self):
+        """End to end: run_algorithm's attached trace sums to the
+        engine counters and the clock split."""
+        from repro.bench import make_engine, run_algorithm
+        from repro.graph import load
+
+        ds = load("TW", target_edges=1 << 12, seed=0)
+        engine = make_engine(ds, 4)
+        row = run_algorithm("CC", engine, experiment="t", dataset="TW")
+        split = comm_split(row)
+        assert split["comm_s"] == pytest.approx(row.time_comm, rel=1e-12)
+        assert split["compute_s"] == pytest.approx(row.time_compute, rel=1e-12)
+        assert split["bytes"] == engine.counters.total_bytes
+        assert split["serial_messages"] == engine.counters.total_serial_messages
 
 
 class TestSpeedups:

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.comm import VirtualClocks
+from repro.comm import CommCounters, VirtualClocks
 
 
 class TestCharging:
@@ -87,3 +87,24 @@ class TestReporting:
         d = b - a
         assert d.total == pytest.approx(2.0)
         assert d.compute == pytest.approx(2.0)
+
+
+class TestCounterMarks:
+    def test_marks_snapshot_attached_counters(self):
+        counters = CommCounters()
+        clocks = VirtualClocks(2, counters=counters)
+        counters.record("allreduce", 2, 4, 100)
+        clocks.mark_iteration()
+        counters.record("allreduce", 2, 4, 60)
+        clocks.mark_iteration()
+        assert len(clocks.counter_marks) == 2
+        assert clocks.counter_marks[0].total_bytes == 100
+        assert clocks.counter_marks[1].total_bytes == 160
+        delta = clocks.counter_marks[1] - clocks.counter_marks[0]
+        assert delta.total_bytes == 60
+        assert delta.by_kind["allreduce"].calls == 1
+
+    def test_no_counters_means_no_marks(self):
+        clocks = VirtualClocks(2)
+        clocks.mark_iteration()
+        assert clocks.counter_marks == []

