@@ -14,6 +14,7 @@ import pytest
 from repro.comm.grid import Grid2D
 from repro.core.engine import Engine
 from repro.graph import partition_2d, rmat
+from repro.kernels import scatter_reduce, scatter_reduce_reference
 from repro.patterns import dense_pull, sparse_push
 from repro.queueing import expand_csr, manhattan_schedule
 
@@ -74,3 +75,58 @@ class TestPrimitivePerf:
     def test_perf_rmat_generation(self, benchmark):
         g = benchmark(lambda: rmat(12, seed=7))
         assert g.n_vertices == 4096
+
+
+class TestScatterReducePerf:
+    """The fused kernel vs the legacy unique/copy/.at/compare idiom."""
+
+    @pytest.fixture(scope="class")
+    def edge_scatter(self, big_graph):
+        rng = np.random.default_rng(0)
+        lids = big_graph.indices.astype(np.int64)
+        vals = rng.random(lids.size)
+        state = np.empty(big_graph.n_vertices)
+        return state, lids, vals
+
+    def test_perf_scatter_reduce_dense(self, benchmark, edge_scatter):
+        state, lids, vals = edge_scatter
+
+        def run():
+            state[...] = np.inf
+            return scatter_reduce(state, lids, vals, "min")
+
+        changed = benchmark(run)
+        assert changed.size > 0
+
+    def test_perf_scatter_reduce_reference(self, benchmark, edge_scatter):
+        state, lids, vals = edge_scatter
+
+        def run():
+            state[...] = np.inf
+            return scatter_reduce_reference(state, lids, vals, "min")
+
+        changed = benchmark(run)
+        assert changed.size > 0
+
+    def test_perf_scatter_reduce_sparse(self, benchmark, big_graph):
+        # a small frontier against a large state: unique-bookkeeping path
+        rng = np.random.default_rng(1)
+        n = big_graph.n_vertices
+        state = np.full(n, np.inf)
+        lids = rng.integers(0, n, size=n // 100)
+        vals = rng.random(lids.size)
+
+        def run():
+            state[...] = np.inf
+            return scatter_reduce(state, lids, vals, "min")
+
+        benchmark(run)
+
+    def test_perf_scatter_reduce_sum(self, benchmark, edge_scatter):
+        state, lids, vals = edge_scatter
+
+        def run():
+            state[...] = 0.0
+            return scatter_reduce(state, lids, vals, "sum")
+
+        benchmark(run)

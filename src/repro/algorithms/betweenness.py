@@ -20,6 +20,7 @@ import numpy as np
 
 from ..core.engine import Engine
 from ..core.result import AlgorithmResult
+from ..kernels import scatter_reduce
 from ..patterns.dense import dense_pull
 from .bfs import bfs
 
@@ -35,10 +36,10 @@ def _forward_sigma(engine: Engine, levels_local: list[np.ndarray], depth_max: in
             acc = ctx.get("acc")
             acc[...] = 0.0
             src, dst, _ = ctx.expand_all()
-            engine.charge_edges(ctx.rank, ctx.local_degrees())
+            engine.charge_edges(ctx.rank, ctx.local_degrees(), cache_key="bc.full")
             if src.size:
                 sel = (level[src] == d) & (level[dst] == d - 1)
-                np.add.at(acc, src[sel], sigma[dst[sel]])
+                scatter_reduce(acc, src[sel], sigma[dst[sel]], "sum")
         dense_pull(engine, "acc", op="sum")
         for ctx in engine:
             sigma = ctx.get("sigma")
@@ -59,12 +60,12 @@ def _backward_delta(engine: Engine, levels_local: list[np.ndarray], depth_max: i
             acc = ctx.get("acc")
             acc[...] = 0.0
             src, dst, _ = ctx.expand_all()
-            engine.charge_edges(ctx.rank, ctx.local_degrees())
+            engine.charge_edges(ctx.rank, ctx.local_degrees(), cache_key="bc.full")
             if src.size:
                 sel = (level[src] == d - 1) & (level[dst] == d)
                 w = dst[sel]
                 contrib = (1.0 + delta[w]) / np.maximum(sigma[w], 1.0)
-                np.add.at(acc, src[sel], contrib)
+                scatter_reduce(acc, src[sel], contrib, "sum")
         dense_pull(engine, "acc", op="sum")
         for ctx in engine:
             sigma = ctx.get("sigma")

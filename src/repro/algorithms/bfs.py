@@ -24,6 +24,7 @@ import numpy as np
 
 from ..core.engine import Engine
 from ..core.result import AlgorithmResult, TimingReport
+from ..kernels import scatter_reduce
 from ..patterns.dense import dense_pull
 from ..patterns.sparse import sparse_push
 from .pagerank import compute_global_degrees
@@ -124,10 +125,7 @@ def bfs(
                 unvisited = parent[dst] == INF
                 src, dst = src[unvisited], dst[unvisited]
                 cand_parent = ctx.localmap.row_gid(src).astype(np.float64)
-                uniq = np.unique(dst)
-                old = parent[uniq].copy()
-                np.minimum.at(parent, dst, cand_parent)
-                queues.append(uniq[parent[uniq] < old])
+                queues.append(scatter_reduce(parent, dst, cand_parent, "min"))
             result = sparse_push(engine, "parent", queues, op="min")
         else:
             # Bottom-up: every unvisited owned vertex scans for a
@@ -152,7 +150,7 @@ def bfs(
                     in_frontier = level[dst] == depth - 1
                     src, dst = src[in_frontier], dst[in_frontier]
                     cand_parent = ctx.localmap.col_gid(dst).astype(np.float64)
-                    np.minimum.at(parent, src, cand_parent)
+                    scatter_reduce(parent, src, cand_parent, "min")
             dense_pull(engine, "parent", op="min")
             result = None
 

@@ -24,6 +24,7 @@ import numpy as np
 
 from ..core.engine import Engine
 from ..core.result import AlgorithmResult
+from ..kernels import scatter_reduce
 from ..patterns.complex import (
     build_histogram,
     merge_histograms,
@@ -104,10 +105,10 @@ def greedy_coloring(
             maxp = ctx.get("maxp")
             maxp[...] = -np.inf
             src, dst, _ = ctx.expand_all()
-            engine.charge_edges(ctx.rank, ctx.local_degrees())
+            engine.charge_edges(ctx.rank, ctx.local_degrees(), cache_key="color.full")
             if src.size:
                 unc = color[dst] < 0
-                np.maximum.at(maxp, src[unc], prio[dst[unc]])
+                scatter_reduce(maxp, src[unc], prio[dst[unc]], "max")
         dense_pull(engine, "maxp", op="max")
 
         # ---- 2. winners pick the smallest absent neighborhood color ---

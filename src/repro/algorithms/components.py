@@ -27,6 +27,7 @@ import numpy as np
 
 from ..core.engine import Engine
 from ..core.result import AlgorithmResult
+from ..kernels import scatter_reduce
 from ..patterns.dense import dense_exchange
 from ..patterns.sparse import propagate_active_pull, sparse_pull, sparse_push
 from ..patterns.switching import SwitchPolicy
@@ -69,10 +70,7 @@ def _compute_push(engine: Engine, rows_per_rank) -> list[np.ndarray]:
         if dst.size == 0:
             queues.append(np.empty(0, dtype=np.int64))
             continue
-        uniq = np.unique(dst)
-        old = state[uniq].copy()
-        np.minimum.at(state, dst, state[src])
-        queues.append(uniq[state[uniq] < old])
+        queues.append(scatter_reduce(state, dst, state[src], "min"))
     return queues
 
 
@@ -91,10 +89,7 @@ def _compute_pull(engine: Engine, rows_per_rank) -> list[np.ndarray]:
         if src.size == 0:
             queues.append(np.empty(0, dtype=np.int64))
             continue
-        uniq = np.unique(src)
-        old = state[uniq].copy()
-        np.minimum.at(state, src, state[dst])
-        queues.append(uniq[state[uniq] < old])
+        queues.append(scatter_reduce(state, src, state[dst], "min"))
     return queues
 
 

@@ -29,6 +29,7 @@ import numpy as np
 
 from ..core.engine import Engine
 from ..core.result import AlgorithmResult
+from ..kernels import scatter_reduce
 from ..patterns.dense import dense_pull
 
 __all__ = ["pagerank", "compute_global_degrees"]
@@ -52,10 +53,11 @@ def compute_global_degrees(
             if blk.weights is None:
                 raise ValueError("weighted degrees need an edge-weighted graph")
             sums = np.zeros(ctx.localmap.n_row)
-            np.add.at(
+            scatter_reduce(
                 sums,
                 np.repeat(np.arange(ctx.localmap.n_row), ctx.local_degrees()),
                 blk.weights,
+                "sum",
             )
             deg[ctx.row_slice] = sums
         else:
@@ -109,6 +111,9 @@ def pagerank(
         ctx.alloc("acc", np.float64)
 
     iterations_run = 0
+    # deg is static after compute_global_degrees, so the per-edge degree
+    # gather (and its zero mask) is iteration-invariant — cache it.
+    deg_dst: dict[int, tuple[np.ndarray, np.ndarray]] = {}
     for _ in range(iterations):
         iterations_run += 1
         # Local partial gathers.
@@ -118,13 +123,17 @@ def pagerank(
             acc = ctx.get("acc")
             acc[...] = 0.0
             src, dst, w = ctx.expand_all()
-            engine.charge_edges(ctx.rank, ctx.local_degrees())
+            engine.charge_edges(ctx.rank, ctx.local_degrees(), cache_key="pr.full")
             if dst.size:
-                contrib = pr[dst] / np.maximum(deg[dst], 1e-300)
+                if ctx.rank not in deg_dst:
+                    dd = deg[dst]
+                    deg_dst[ctx.rank] = (np.maximum(dd, 1e-300), dd == 0)
+                dd_safe, dd_zero = deg_dst[ctx.rank]
+                contrib = pr[dst] / dd_safe
                 if weighted:
                     contrib = contrib * w
-                contrib[deg[dst] == 0] = 0.0
-                np.add.at(acc, src, contrib)
+                contrib[dd_zero] = 0.0
+                scatter_reduce(acc, src, contrib, "sum")
 
         # Complete the sums along row groups, refresh ghosts.
         dense_pull(engine, "acc", op="sum")

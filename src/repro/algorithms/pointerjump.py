@@ -22,6 +22,7 @@ import numpy as np
 
 from ..core.engine import Engine
 from ..core.result import AlgorithmResult
+from ..kernels import scatter_reduce
 from ..patterns.packets import packet_swap
 from ..patterns.sparse import PAIR_DTYPE
 
@@ -44,7 +45,7 @@ def initial_parents(graph) -> np.ndarray:
     src = np.repeat(parents, degs)
     if src.size:
         best = np.full(n, np.iinfo(np.int64).max, dtype=np.int64)
-        np.minimum.at(best, src, graph.indices)
+        scatter_reduce(best, src, graph.indices, "min")
         take = best < parents
         parents[take] = best[take]
     return parents
@@ -77,12 +78,12 @@ def pointer_jumping(engine: Engine, max_iterations: int | None = None) -> Algori
     for ctx in engine:
         lm = ctx.localmap
         rows = ctx.row_lids()
-        engine.charge_edges(ctx.rank, ctx.local_degrees())
+        engine.charge_edges(ctx.rank, ctx.local_degrees(), cache_key="pj.full")
         src, dst, _ = ctx.expand(rows)
         buf = np.empty(0, dtype=PAIR_DTYPE)
         if src.size:
             best = np.full(ctx.n_total, np.iinfo(np.int64).max, dtype=np.int64)
-            np.minimum.at(best, src, part.original_gid(lm.col_gid(dst)))
+            scatter_reduce(best, src, part.original_gid(lm.col_gid(dst)), "min")
             have = rows[best[rows] < np.iinfo(np.int64).max]
             buf = np.empty(have.size, dtype=PAIR_DTYPE)
             buf["gid"] = lm.row_gid(have)
@@ -97,7 +98,7 @@ def pointer_jumping(engine: Engine, max_iterations: int | None = None) -> Algori
         rs, re = part.row_range(id_r)
         best = np.full(re - rs, np.iinfo(np.int64).max, dtype=np.int64)
         if rbuf.size:
-            np.minimum.at(best, rbuf["gid"] - rs, rbuf["val"].astype(np.int64))
+            scatter_reduce(best, rbuf["gid"] - rs, rbuf["val"].astype(np.int64), "min")
         gids = np.arange(rs, re, dtype=np.int64)
         orig = part.original_gid(gids)
         parent_orig = np.where(best < orig, best, orig)

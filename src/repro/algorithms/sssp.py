@@ -16,6 +16,7 @@ import numpy as np
 
 from ..core.engine import Engine
 from ..core.result import AlgorithmResult
+from ..kernels import scatter_reduce
 from ..patterns.sparse import sparse_push
 
 __all__ = ["sssp"]
@@ -70,10 +71,7 @@ def sssp(
                 queues.append(np.empty(0, dtype=np.int64))
                 continue
             cand = dist[src] + w
-            uniq = np.unique(dst)
-            old = dist[uniq].copy()
-            np.minimum.at(dist, dst, cand)
-            queues.append(uniq[dist[uniq] < old])
+            queues.append(scatter_reduce(dist, dst, cand, "min"))
         result = sparse_push(engine, "dist", queues, op="min")
         frontier = result.active_row
         engine.clocks.mark_iteration()

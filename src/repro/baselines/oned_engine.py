@@ -26,6 +26,7 @@ from ..comm.counters import CommCounters
 from ..core.result import AlgorithmResult, TimingReport
 from ..graph.csr import Graph
 from ..graph.partition.striped import group_ranges, striped_permutation
+from ..kernels import scatter_reduce
 from ..queueing.frontier import expand_csr
 
 __all__ = ["OneDPartition", "OneDEngine", "cc_1d", "pagerank_1d", "bfs_1d"]
@@ -183,13 +184,7 @@ class OneDEngine:
             state = self.states[r][name]
             rbuf = received[r]
             lids = rbuf["gid"] - part.start
-            if lids.size:
-                uniq = np.unique(lids)
-                old = state[uniq].copy()
-                np.minimum.at(state, lids, rbuf["val"])
-                changed = uniq[state[uniq] < old]
-            else:
-                changed = np.empty(0, dtype=np.int64)
+            changed = scatter_reduce(state, lids, rbuf["val"], "min")
             changed_per_rank.append(changed)
             n_changed += int(changed.size)
             self.charge_vertices(r, rbuf.size)
@@ -256,13 +251,7 @@ def cc_1d(engine: OneDEngine, max_iterations: int | None = None) -> AlgorithmRes
             rows = active[r]
             src, dst, _ = expand_csr(part.indptr, part.indices, rows)
             engine.charge_edges(r, src.size)
-            if dst.size:
-                uniq = np.unique(dst)
-                old = state[uniq].copy()
-                np.minimum.at(state, dst, state[src])
-                changed = uniq[state[uniq] < old]
-            else:
-                changed = np.empty(0, dtype=np.int64)
+            changed = scatter_reduce(state, dst, state[src], "min")
             updated_ghosts.append(changed[changed >= part.n_own])
             next_active_local.append(changed[changed < part.n_own])
         n_remote, remote_changed = engine.exchange_min(
@@ -324,7 +313,7 @@ def pagerank_1d(
             engine.charge_edges(r, src.size)
             acc = np.zeros(part.n_local)
             if dst.size:
-                np.add.at(acc, src, pr[dst] / np.maximum(deg[dst], 1.0))
+                scatter_reduce(acc, src, pr[dst] / np.maximum(deg[dst], 1.0), "sum")
             own = slice(0, part.n_own)
             dangling += float(pr[own][deg[own] == 0].sum())
             engine.states[r]["acc"] = acc
@@ -409,10 +398,7 @@ def bfs_1d(engine: OneDEngine, root: int) -> AlgorithmResult:
                 unv = state[dst] == np.inf
                 src, dst = src[unv], dst[unv]
                 cand = part.gid(src).astype(np.float64)
-                uniq = np.unique(dst)
-                old = state[uniq].copy()
-                np.minimum.at(state, dst, cand)
-                changed = uniq[state[uniq] < old]
+                changed = scatter_reduce(state, dst, cand, "min")
             else:
                 changed = np.empty(0, dtype=np.int64)
             updated_ghosts.append(changed[changed >= part.n_own])

@@ -36,6 +36,7 @@ from ..comm.counters import CommCounters
 from ..core.result import AlgorithmResult, TimingReport
 from ..graph.csr import Graph
 from ..graph.partition.striped import group_ranges, striped_permutation
+from ..kernels import scatter_reduce
 from ..queueing.frontier import expand_csr
 
 __all__ = ["OneFiveDEngine", "cc_15d", "default_hub_threshold"]
@@ -232,13 +233,13 @@ def cc_15d(
             if src.size:
                 # symmetric relaxation: labels flow both directions, so
                 # hub adjacency is covered by the reverse edges here
-                np.minimum.at(state, dst, state[src])
-                np.minimum.at(state, src, state[dst])
+                scatter_reduce(state, dst, state[src], "min")
+                scatter_reduce(state, src, state[dst], "min")
             he = share.hub_edges
             if he.size:
                 base = n_own + n_ghost
-                np.minimum.at(state, base + he[:, 1], state[base + he[:, 0]])
-                np.minimum.at(state, base + he[:, 0], state[base + he[:, 1]])
+                scatter_reduce(state, base + he[:, 1], state[base + he[:, 0]], "min")
+                scatter_reduce(state, base + he[:, 0], state[base + he[:, 1]], "min")
             changed_own = np.flatnonzero(state[:n_own] < before_own)
             n_changed += int(changed_own.size)
             ghost_lids = np.arange(n_own, n_own + n_ghost, dtype=np.int64)
@@ -278,10 +279,7 @@ def cc_15d(
             rbuf = received[r]
             if rbuf.size:
                 lids = engine._lid(share, rbuf["gid"])
-                uniq = np.unique(lids)
-                old = state[uniq].copy()
-                np.minimum.at(state, lids, rbuf["val"])
-                n_changed += int(np.count_nonzero(state[uniq] < old))
+                n_changed += int(scatter_reduce(state, lids, rbuf["val"], "min").size)
             engine.charge_vertices(r, rbuf.size)
         # refresh ghosts from owners
         send2 = []

@@ -26,6 +26,7 @@ from ..cluster.config import ZEPY, ClusterConfig
 from ..core.engine import Engine
 from ..core.result import AlgorithmResult
 from ..graph.csr import Graph
+from ..kernels import scatter_reduce
 from ..patterns.dense import dense_pull, dense_push
 
 __all__ = ["spmv_engine", "spmv_pagerank", "spmv_cc", "spmv_bfs"]
@@ -154,7 +155,7 @@ def spmv_cc(engine: Engine, max_iterations: int | None = None) -> AlgorithmResul
             src, dst, _ = ctx.expand_all()
             _charge_semiring(engine, ctx.rank, ctx.block.n_local_edges, ctx.n_total)
             if dst.size:
-                np.minimum.at(lab, src, lab[dst])
+                scatter_reduce(lab, src, lab[dst], "min")
         dense_pull(engine, "cc", op="min")
         n_changed = 0
         for id_r, ranks in engine.row_groups():
@@ -213,7 +214,7 @@ def spmv_bfs(engine: Engine, root: int) -> AlgorithmResult:
             _charge_semiring(engine, ctx.rank, ctx.block.n_local_edges, ctx.n_total)
             if dst.size:
                 hits = frontier[src] > 0
-                np.maximum.at(nxt, dst[hits], 1.0)
+                scatter_reduce(nxt, dst[hits], 1.0, "max")
         dense_push(engine, "next", op="max")
         n_new = 0
         for ctx in engine:

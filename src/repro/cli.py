@@ -22,6 +22,13 @@ Commands
         python -m repro trace --algo CC --dataset TW --ranks 16
         python -m repro trace --algo PR --dataset RMAT12 --ranks 4 --out pr_trace
 
+``perf``
+    Measure the simulator's own wall-clock performance (the modeled
+    benches report virtual time; this one times the host) and append
+    the result to the persisted trajectory file::
+
+        python -m repro perf --scale 14 --ranks 16 --out BENCH_simulator.json
+
 ``info``
     Show the registered datasets, machines, and algorithms.
 """
@@ -143,6 +150,31 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0 if exact else 1
 
 
+def _cmd_perf(args: argparse.Namespace) -> int:
+    from .bench.perf import append_entry, run_perf
+
+    entry = run_perf(
+        scale=args.scale,
+        ranks=args.ranks,
+        repeats=args.repeats,
+        label=args.label,
+        primitives=not args.no_primitives,
+    )
+    for section in ("algorithms", "primitives"):
+        if section not in entry:
+            continue
+        print(f"{section}:")
+        for name, t in entry[section].items():
+            print(
+                f"  {name:>20}: best {t['best_s'] * 1e3:9.3f} ms  "
+                f"mean {t['mean_s'] * 1e3:9.3f} ms  ({t['repeats']} repeats)"
+            )
+    if args.out:
+        data = append_entry(args.out, entry)
+        print(f"appended entry {len(data['entries'])} to {args.out}")
+    return 0
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     del args
     from .graph.datasets import REGISTRY
@@ -216,6 +248,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="write PREFIX.csv and PREFIX.json instead of printing",
     )
     trace.set_defaults(func=_cmd_trace)
+
+    perf = sub.add_parser(
+        "perf", help="wall-clock performance of the simulator itself"
+    )
+    perf.add_argument("--scale", type=int, default=14, help="rmat scale")
+    perf.add_argument("--ranks", type=int, default=16)
+    perf.add_argument("--repeats", type=int, default=3)
+    perf.add_argument("--label", default="", help="entry label in the trajectory")
+    perf.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="append the entry to this trajectory JSON (e.g. BENCH_simulator.json)",
+    )
+    perf.add_argument(
+        "--no-primitives", action="store_true",
+        help="skip the primitive micro-timings (algorithms only)",
+    )
+    perf.set_defaults(func=_cmd_perf)
 
     info = sub.add_parser("info", help="list datasets, machines, algorithms")
     info.set_defaults(func=_cmd_info)

@@ -67,6 +67,10 @@ class Topology:
             raise ValueError(f"need at least one rank, got {n_ranks}")
         self.config = config
         self.n_ranks = int(n_ranks)
+        # group_profile is a pure function of (ranks, nic_sharing) for a
+        # fixed topology, and the BSP stages ask for the same handful of
+        # row/column groups every iteration — memoize.
+        self._profile_cache: dict[tuple, GroupProfile] = {}
 
     # ------------------------------------------------------------------
     # placement
@@ -128,16 +132,22 @@ class Topology:
             raise ValueError("empty rank group")
         if nic_sharing < 1:
             raise ValueError(f"nic_sharing must be >= 1, got {nic_sharing}")
+        key = (tuple(ranks), int(nic_sharing))
+        cached = self._profile_cache.get(key)
+        if cached is not None:
+            return cached
         for r in ranks:
             self._check(r)
         if len(ranks) == 1:
             nvl = self.config.node.nvlink
-            return GroupProfile(
+            profile = GroupProfile(
                 size=1,
                 latency_s=nvl.latency_s,
                 bandwidth_Bps=nvl.bandwidth_Bps,
                 crosses_network=False,
             )
+            self._profile_cache[key] = profile
+            return profile
 
         worst_latency = 0.0
         best_case_bw = float("inf")
@@ -154,6 +164,8 @@ class Topology:
         bw = best_case_bw
         if crosses and self.config.node.nic_contention and nic_sharing > 1:
             bw = min(bw, self.config.node.nic.bandwidth_Bps / nic_sharing)
-        return GroupProfile(
+        profile = GroupProfile(
             size=n, latency_s=worst_latency, bandwidth_Bps=bw, crosses_network=crosses
         )
+        self._profile_cache[key] = profile
+        return profile

@@ -28,6 +28,7 @@ class RankContext:
         self.device = device
         self.arrays: dict[str, np.ndarray] = {}
         self._local_degrees: Optional[np.ndarray] = None
+        self._expand_all_cache = None
         # Charge the static graph structure, as the paper's loader does
         # when moving the CSR to the GPU.
         device.charge("graph.indptr", block.indptr.nbytes)
@@ -125,10 +126,28 @@ class RankContext:
 
     def expand_all(self):
         """Expand every local edge (dense iteration; cached — the CSR
-        is static, so the expansion is, too)."""
-        if not hasattr(self, "_expand_all_cache"):
-            self._expand_all_cache = expand_block(self.block, self.row_lids())
+        is static, so the expansion is, too).
+
+        The cached ``(src, dst, weights)`` arrays are real per-rank
+        footprint (two-to-three edge-length columns), so they are
+        charged against the device ledger like any state array; call
+        :meth:`free_expand_cache` to release them under memory
+        pressure.
+        """
+        if self._expand_all_cache is None:
+            src, dst, weights = expand_block(self.block, self.row_lids())
+            nbytes = src.nbytes + dst.nbytes
+            if weights is not None:
+                nbytes += weights.nbytes
+            self.device.charge("cache.expand_all", nbytes)
+            self._expand_all_cache = (src, dst, weights)
         return self._expand_all_cache
+
+    def free_expand_cache(self) -> None:
+        """Drop the cached full expansion and release its ledger charge."""
+        if self._expand_all_cache is not None:
+            self._expand_all_cache = None
+            self.device.release("cache.expand_all")
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

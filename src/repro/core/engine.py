@@ -107,6 +107,9 @@ class Engine:
         )
         self.topology = Topology(cluster, grid.n_ranks)
         self.costmodel = CostModel(cluster.gpu, self.topology, profile)
+        # Memoized ScheduleStats for repeated identical queue expansions
+        # (dense iterations re-schedule the same full queue every time).
+        self._schedule_cache: dict[tuple, object] = {}
         self.counters = CommCounters()
         self.clocks = VirtualClocks(grid.n_ranks, counters=self.counters)
         self.comm = Communicator(self.costmodel, self.clocks, self.counters)
@@ -190,6 +193,12 @@ class Engine:
         for ctx in self.contexts:
             ctx.free(name)
 
+    def free_expand_caches(self) -> None:
+        """Release every rank's cached full expansion (see
+        :meth:`RankContext.free_expand_cache`)."""
+        for ctx in self.contexts:
+            ctx.free_expand_cache()
+
     def scatter_global(self, name: str, vec: np.ndarray, dtype=None) -> list[np.ndarray]:
         """Distribute a global per-vertex vector into a named state
         array on every rank (row and column windows filled)."""
@@ -208,6 +217,32 @@ class Engine:
     # ------------------------------------------------------------------
     # kernel charging
     # ------------------------------------------------------------------
+    def schedule_stats(
+        self, queue_degrees: np.ndarray, cache_key: Optional[str] = None, rank: int = -1
+    ):
+        """Run the configured schedule model over a queue's degrees.
+
+        ``cache_key`` memoizes the resulting :class:`ScheduleStats`
+        per ``(rank, cache_key)``: dense iterations expand the identical
+        full queue every time (PageRank runs 20 identical schedules per
+        rank), so callers passing a stable key for a *static* degree
+        array skip the recomputation entirely.  The caller guarantees
+        the degrees for a given key never change (local degrees are
+        fixed by the partition).
+        """
+        if cache_key is not None:
+            key = (rank, cache_key, self.load_balance)
+            stats = self._schedule_cache.get(key)
+            if stats is not None:
+                return stats
+        if self.load_balance == "manhattan":
+            stats = manhattan_schedule(queue_degrees)
+        else:
+            stats = vertex_per_thread_balance(queue_degrees)
+        if cache_key is not None:
+            self._schedule_cache[key] = stats
+        return stats
+
     def charge_edges(
         self,
         rank: int,
@@ -215,16 +250,16 @@ class Engine:
         work_per_edge: float = 1.0,
         extra_vertices: int = 0,
         launches: int = 1,
+        cache_key: Optional[str] = None,
     ) -> None:
         """Charge an edge-expansion kernel over a vertex queue.
 
         The load-balance efficiency comes from the configured schedule
-        model (Manhattan collapse vs. naive vertex-per-thread).
+        model (Manhattan collapse vs. naive vertex-per-thread); pass
+        ``cache_key`` when the queue is a static full-queue expansion
+        (see :meth:`schedule_stats`).
         """
-        if self.load_balance == "manhattan":
-            stats = manhattan_schedule(queue_degrees)
-        else:
-            stats = vertex_per_thread_balance(queue_degrees)
+        stats = self.schedule_stats(queue_degrees, cache_key=cache_key, rank=rank)
         t = self.costmodel.kernel_time(
             n_vertices=len(queue_degrees) + extra_vertices,
             n_edges=stats.total_edges,

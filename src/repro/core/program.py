@@ -29,6 +29,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from ..kernels import scatter_reduce
 from ..patterns.dense import dense_exchange
 from ..patterns.sparse import propagate_active_pull, sparse_pull, sparse_push
 from ..patterns.switching import SwitchPolicy
@@ -88,13 +89,6 @@ class VertexProgram:
             raise ValueError(f"bad direction {self.direction!r}")
 
 
-def _reduce_at(state: np.ndarray, idx: np.ndarray, vals: np.ndarray, op: str):
-    if op == "min":
-        np.minimum.at(state, idx, vals)
-    else:
-        np.maximum.at(state, idx, vals)
-
-
 def run_vertex_program(engine: Engine, program: VertexProgram) -> AlgorithmResult:
     """Execute a :class:`VertexProgram` on the 2D engine.
 
@@ -118,7 +112,6 @@ def run_vertex_program(engine: Engine, program: VertexProgram) -> AlgorithmResul
     policy = SwitchPolicy(part.n_vertices, grid, mode=program.mode)
     all_rows = [ctx.row_lids() for ctx in engine]
     active = list(all_rows)
-    better = np.less if program.op == "min" else np.greater
     iteration = 0
 
     while True:
@@ -150,10 +143,7 @@ def run_vertex_program(engine: Engine, program: VertexProgram) -> AlgorithmResul
             else:
                 cand = program.along_edge(state[dst], w)
                 targets = src
-            uniq = np.unique(targets)
-            old = state[uniq].copy()
-            _reduce_at(state, targets, cand, program.op)
-            queues.append(uniq[better(state[uniq], old)])
+            queues.append(scatter_reduce(state, targets, cand, program.op))
 
         # ---- exchange --------------------------------------------------
         if sparse_now:

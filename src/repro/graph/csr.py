@@ -154,9 +154,7 @@ class Graph:
                     key_change = np.empty(s.size, dtype=bool)
                     key_change[0] = True
                     key_change[1:] = (s[1:] != s[:-1]) | (d[1:] != d[:-1])
-                    group_id = np.cumsum(key_change) - 1
-                    wmax = np.full(group_id[-1] + 1, -np.inf)
-                    np.maximum.at(wmax, group_id, w)
+                    wmax = np.maximum.reduceat(w, np.flatnonzero(key_change))
                     s, d = s[key_change], d[key_change]
                     w = wmax
                 mat = sp.csr_matrix(

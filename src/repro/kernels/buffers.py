@@ -1,0 +1,64 @@
+"""Reusable scratch buffers for queue-pair construction.
+
+The sparse exchanges build one ``{gid, val}`` send buffer per rank per
+stage, every iteration — thousands of short-lived structured
+allocations per run.  A :class:`BufferPool` recycles them: ``take(n)``
+hands out a length-``n`` view of a pooled backing array (growing
+geometrically), ``give(buf)`` returns the backing array once the
+collective has copied the payload out.
+
+The simulator's collectives always copy (``np.concatenate`` /
+``np.empty``), so a send buffer never outlives its exchange; callers
+must still only ``give`` back buffers they obtained from ``take`` and
+stop using them afterwards.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["BufferPool"]
+
+#: Backing arrays retained per pool; beyond this, give() drops buffers.
+_MAX_POOLED = 64
+
+
+class BufferPool:
+    """Pool of same-dtype scratch arrays handed out as exact-length views."""
+
+    def __init__(self, dtype):
+        self.dtype = np.dtype(dtype)
+        self._free: list[np.ndarray] = []
+        self.hits = 0
+        self.misses = 0
+
+    def take(self, n: int) -> np.ndarray:
+        """A writable length-``n`` array (contents uninitialized)."""
+        n = int(n)
+        best = -1
+        for i, base in enumerate(self._free):
+            if base.shape[0] >= n and (
+                best < 0 or base.shape[0] < self._free[best].shape[0]
+            ):
+                best = i
+        if best >= 0:
+            self.hits += 1
+            return self._free.pop(best)[:n]
+        self.misses += 1
+        capacity = max(16, 1 << max(0, int(n) - 1).bit_length())
+        return np.empty(capacity, dtype=self.dtype)[:n]
+
+    def give(self, *buffers: np.ndarray) -> None:
+        """Return buffers obtained from :meth:`take` to the pool."""
+        for buf in buffers:
+            base = buf.base if buf.base is not None else buf
+            if (
+                isinstance(base, np.ndarray)
+                and base.dtype == self.dtype
+                and base.ndim == 1
+                and len(self._free) < _MAX_POOLED
+            ):
+                self._free.append(base)
+
+    def clear(self) -> None:
+        self._free.clear()

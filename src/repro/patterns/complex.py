@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..kernels import segment_reduce
 
 __all__ = [
     "TRIPLE_DTYPE",
@@ -80,11 +81,8 @@ def merge_histograms(triples: np.ndarray) -> np.ndarray:
     new_key[1:] = (t["gid"][1:] != t["gid"][:-1]) | (
         t["label"][1:] != t["label"][:-1]
     )
-    group = np.cumsum(new_key) - 1
-    counts = np.zeros(group[-1] + 1, dtype=np.int64)
-    np.add.at(counts, group, t["count"])
     out = t[new_key].copy()
-    out["count"] = counts
+    out["count"] = segment_reduce(t["count"], np.flatnonzero(new_key), "sum")
     return out
 
 
@@ -159,6 +157,6 @@ def h_index_from_histograms(merged: np.ndarray) -> tuple[np.ndarray, np.ndarray]
     # candidate h at each entry: min(value, cumulative count); the
     # h-index is the max candidate within the group.
     cand = np.minimum(val, cum_in_group)
-    h = np.zeros(group[-1] + 1, dtype=np.int64)
-    np.maximum.at(h, group, cand)
+    # floor at 0, as the zero-initialized accumulator did
+    h = np.maximum(segment_reduce(cand, start_pos, "max"), 0)
     return g[new_group], h

@@ -12,9 +12,10 @@ exactly as Alg. 3:
 * **pull**: the same with row/column roles swapped (partial gathers
   reduce over the row group first, ghosts refresh over column groups).
 
-``ReduceQueue`` change-detection (Alg. 5 lines 8-12) is vectorized:
-apply the reduction with ``np.minimum.at``-style unbuffered ops, then
-compare before/after on the unique touched vertices.  A rank's own
+``ReduceQueue`` change-detection (Alg. 5 lines 8-12) runs through the
+fused :func:`repro.kernels.scatter_reduce` kernel: one segmented
+reduction that applies the op and returns the unique changed LIDs in
+the same pass.  A rank's own
 locally-updated row vertices are unioned into the second-stage queue
 (its own echoes produce ``new == old`` in the reduce, exactly as in
 the CUDA code, but their values still must travel to the rest of the
@@ -34,11 +35,16 @@ from typing import Callable, Optional
 import numpy as np
 
 from ..core.engine import Engine
+from ..kernels import BufferPool, scatter_reduce
 
 __all__ = ["PAIR_DTYPE", "SparseResult", "sparse_push", "sparse_pull", "propagate_active_pull"]
 
 #: One queue entry: {vertex GID, state value} (paper Alg. 4 lines 6-7).
 PAIR_DTYPE = np.dtype([("gid", np.int64), ("val", np.float64)])
+
+#: Recycled send buffers — the collectives copy the payload, so a pair
+#: buffer is dead the moment its allgatherv returns (see kernels.buffers).
+_PAIR_POOL = BufferPool(PAIR_DTYPE)
 
 #: Custom reduction hook: (state, lids, vals) -> unique changed lids.
 ReduceFn = Callable[[np.ndarray, np.ndarray, np.ndarray], np.ndarray]
@@ -53,7 +59,7 @@ class SparseResult:
 
 
 def _pairs(gids: np.ndarray, vals: np.ndarray) -> np.ndarray:
-    buf = np.empty(gids.size, dtype=PAIR_DTYPE)
+    buf = _PAIR_POOL.take(gids.size)
     buf["gid"] = gids
     buf["val"] = vals
     return buf
@@ -66,23 +72,17 @@ def _apply_op(
     op: str,
     reduce_fn: Optional[ReduceFn],
 ) -> np.ndarray:
-    """Apply the reduction; return unique LIDs whose value changed."""
+    """Apply the reduction; return unique LIDs whose value changed.
+
+    ``op`` is one of ``"min"``/``"max"``/``"sum"`` (``"sum"`` has delta
+    semantics: callers send deltas, not absolutes).  Change detection is
+    the kernel's exact float compare of the stored value before/after —
+    for ``"sum"`` that means a zero delta, or deltas cancelling exactly,
+    leave the vertex out of the changed set.
+    """
     if reduce_fn is not None:
         return np.asarray(reduce_fn(state, lids, vals), dtype=np.int64)
-    if lids.size == 0:
-        return np.empty(0, dtype=np.int64)
-    uniq = np.unique(lids)
-    old = state[uniq].copy()
-    if op == "min":
-        np.minimum.at(state, lids, vals)
-    elif op == "max":
-        np.maximum.at(state, lids, vals)
-    elif op == "sum":
-        # Delta semantics: callers must send deltas, not absolutes.
-        np.add.at(state, lids, vals)
-    else:
-        raise ValueError(f"unsupported sparse op {op!r}")
-    return uniq[state[uniq] != old]
+    return scatter_reduce(state, lids, vals, op)
 
 
 def sparse_push(
@@ -119,6 +119,7 @@ def sparse_push(
             state = ctx.get(name)
             sbufs.append(_pairs(ctx.localmap.col_gid(q), state[q]))
         rbuf = engine.comm.allgatherv(ranks, sbufs, nic_sharing=col_share)
+        _PAIR_POOL.give(*sbufs)
         for r in ranks:
             ctx = engine.ctx(r)
             lm = ctx.localmap
@@ -146,6 +147,7 @@ def sparse_push(
             state = ctx.get(name)
             sbufs.append(_pairs(gids, state[lm.row_lid(gids)]))
         rbuf = engine.comm.allgatherv(ranks, sbufs, nic_sharing=row_share)
+        _PAIR_POOL.give(*sbufs)
         uniq_gids = np.unique(rbuf["gid"])
         n_updated += int(uniq_gids.size)
         for r in ranks:
@@ -189,6 +191,7 @@ def sparse_pull(
             state = ctx.get(name)
             sbufs.append(_pairs(ctx.localmap.row_gid(q), state[q]))
         rbuf = engine.comm.allgatherv(ranks, sbufs, nic_sharing=row_share)
+        _PAIR_POOL.give(*sbufs)
         group_changed: Optional[np.ndarray] = None
         for r in ranks:
             ctx = engine.ctx(r)
@@ -223,6 +226,7 @@ def sparse_pull(
             state = ctx.get(name)
             sbufs.append(_pairs(gids, state[lm.row_lid(gids)]))
         rbuf = engine.comm.allgatherv(ranks, sbufs, nic_sharing=col_share)
+        _PAIR_POOL.give(*sbufs)
         for r in ranks:
             ctx = engine.ctx(r)
             lm = ctx.localmap

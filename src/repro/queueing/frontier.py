@@ -25,20 +25,21 @@ def expand_csr(
     the position in ``indices`` (for weight lookups).
     """
     rows = np.asarray(rows, dtype=np.int64)
-    degs = indptr[rows + 1] - indptr[rows]
+    row_ptr = indptr[rows]
+    degs = indptr[rows + 1] - row_ptr
     total = int(degs.sum())
     if total == 0:
         empty = np.empty(0, dtype=np.int64)
         return empty, empty.copy(), empty.copy()
-    src = np.repeat(rows, degs)
-    # Edge index within `indices`: per queue entry, a run starting at
-    # indptr[row]; build with the cumsum-offset trick.
-    run_starts = np.cumsum(degs) - degs
-    edge_index = (
-        np.arange(total, dtype=np.int64)
-        - np.repeat(run_starts, degs)
-        + np.repeat(indptr[rows], degs)
-    )
+    # One repeat of the queue-entry index; src and the per-edge offset
+    # into `indices` are then plain gathers.  Per entry the run starts
+    # at indptr[row], shifted by the entry's start in the output
+    # (cumsum-offset trick) — fused so the expansion does a single
+    # repeat instead of three.
+    entry = np.repeat(np.arange(rows.size, dtype=np.int64), degs)
+    offsets = row_ptr - (np.cumsum(degs) - degs)
+    edge_index = np.arange(total, dtype=np.int64) + offsets[entry]
+    src = rows[entry]
     dst = indices[edge_index]
     return src, dst, edge_index
 

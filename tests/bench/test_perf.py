@@ -1,0 +1,75 @@
+"""Wall-clock perf harness and trajectory-file tests (tiny protocol)."""
+
+import json
+
+import pytest
+
+from repro.bench.perf import SCHEMA, append_entry, load_trajectory, run_perf
+
+
+@pytest.fixture(scope="module")
+def entry():
+    return run_perf(scale=6, ranks=4, repeats=1, label="test")
+
+
+class TestRunPerf:
+    def test_entry_shape(self, entry):
+        assert entry["label"] == "test"
+        assert entry["protocol"]["graph"] == "rmat(6, seed=1)"
+        assert entry["protocol"]["ranks"] == 4
+        assert set(entry["algorithms"]) == {"BFS", "PR", "CC"}
+        for t in entry["algorithms"].values():
+            assert 0 < t["best_s"] <= t["mean_s"]
+            assert t["repeats"] == 1
+
+    def test_primitive_sections(self, entry):
+        prim = entry["primitives"]
+        assert {
+            "scatter_reduce_min", "manhattan_schedule", "expand_csr",
+            "dense_pull", "sparse_push",
+        } <= set(prim)
+        assert all(t["best_s"] > 0 for t in prim.values())
+
+    def test_no_primitives(self):
+        entry = run_perf(scale=6, ranks=4, repeats=1, primitives=False)
+        assert "primitives" not in entry
+
+    def test_entry_is_json_serializable(self, entry):
+        json.dumps(entry)
+
+
+class TestTrajectory:
+    def test_initialize_and_append(self, tmp_path, entry):
+        path = tmp_path / "bench.json"
+        data = append_entry(path, entry)
+        assert data["schema"] == SCHEMA
+        assert len(data["entries"]) == 1
+        # second append accumulates
+        data = append_entry(path, dict(entry, label="again"))
+        assert [e["label"] for e in data["entries"]] == ["test", "again"]
+        on_disk = json.loads(path.read_text())
+        assert on_disk == data
+
+    def test_load_missing_initializes(self, tmp_path):
+        data = load_trajectory(tmp_path / "nope.json")
+        assert data == {"schema": SCHEMA, "entries": []}
+
+    def test_schema_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "other.v9", "entries": []}))
+        with pytest.raises(ValueError, match="schema"):
+            load_trajectory(path)
+
+
+def test_repo_trajectory_is_valid():
+    """The committed BENCH_simulator.json must parse under the schema."""
+    import pathlib
+
+    root = pathlib.Path(__file__).resolve().parents[2]
+    path = root / "BENCH_simulator.json"
+    data = load_trajectory(path)
+    assert data["schema"] == SCHEMA
+    assert len(data["entries"]) >= 2
+    for e in data["entries"]:
+        assert e["protocol"]["ranks"] > 0
+        assert set(e["algorithms"]) == {"BFS", "PR", "CC"}

@@ -112,3 +112,32 @@ class TestGroupProfile:
         topo = Topology(AIMOS, 12)
         prof = topo.group_profile([0, 1, 6])
         assert prof.latency_s == AIMOS.node.nic.latency_s
+
+
+class TestProfileCache:
+    def test_repeat_calls_return_cached_object(self):
+        topo = Topology(AIMOS, 12)
+        a = topo.group_profile([0, 1, 6], nic_sharing=2)
+        b = topo.group_profile([0, 1, 6], nic_sharing=2)
+        assert a is b
+
+    def test_cached_profile_matches_fresh_topology(self):
+        ranks, sharing = [0, 3, 6, 9], 3
+        topo = Topology(AIMOS, 12)
+        topo.group_profile(ranks, nic_sharing=sharing)  # warm
+        cached = topo.group_profile(ranks, nic_sharing=sharing)
+        fresh = Topology(AIMOS, 12).group_profile(ranks, nic_sharing=sharing)
+        assert cached == fresh
+
+    def test_distinct_keys_cached_separately(self):
+        topo = Topology(AIMOS, 12)
+        a = topo.group_profile([0, 1], nic_sharing=1)
+        b = topo.group_profile([0, 1], nic_sharing=2)
+        c = topo.group_profile([0, 6], nic_sharing=1)
+        assert b is not a and c is not a
+        assert len(topo._profile_cache) == 3
+
+    def test_single_rank_group_cached(self):
+        topo = Topology(AIMOS, 4)
+        a = topo.group_profile([2])
+        assert topo.group_profile([2]) is a

@@ -112,3 +112,29 @@ class TestAccounting:
         assert len(rows) == 2 and len(cols) == 3
         assert rows[0] == [0, 1, 2]
         assert cols[2] == [2, 5]
+
+
+class TestScheduleCache:
+    def test_memoized_per_rank_and_key(self, rmat_graph):
+        e = Engine(rmat_graph, 4)
+        degs = e.ctx(0).local_degrees()
+        a = e.schedule_stats(degs, cache_key="pr.full", rank=0)
+        b = e.schedule_stats(degs, cache_key="pr.full", rank=0)
+        assert a is b
+        # different rank or key computes its own entry
+        c = e.schedule_stats(degs, cache_key="pr.full", rank=1)
+        d = e.schedule_stats(degs, cache_key="cc.full", rank=0)
+        assert c is not a and d is not a
+
+    def test_uncached_matches_cached(self, rmat_graph):
+        e = Engine(rmat_graph, 4)
+        degs = e.ctx(2).local_degrees()
+        cached = e.schedule_stats(degs, cache_key="x.full", rank=2)
+        fresh = e.schedule_stats(degs)
+        assert fresh.total_edges == cached.total_edges
+        assert fresh.balance == cached.balance
+
+    def test_no_key_never_populates_cache(self, rmat_graph):
+        e = Engine(rmat_graph, 4)
+        e.schedule_stats(e.ctx(0).local_degrees())
+        assert e._schedule_cache == {}

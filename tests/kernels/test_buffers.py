@@ -1,0 +1,89 @@
+"""Tests for the scratch-buffer pool used by the sparse exchanges."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import BufferPool
+from repro.kernels.buffers import _MAX_POOLED
+
+PAIR = np.dtype([("gid", np.int64), ("val", np.float64)])
+
+
+class TestTake:
+    def test_exact_length_and_dtype(self):
+        pool = BufferPool(PAIR)
+        buf = pool.take(7)
+        assert buf.shape == (7,) and buf.dtype == PAIR
+        assert buf.flags.writeable
+
+    def test_zero_length(self):
+        pool = BufferPool(np.float64)
+        assert pool.take(0).shape == (0,)
+
+    def test_miss_then_hit(self):
+        pool = BufferPool(np.float64)
+        buf = pool.take(10)
+        assert (pool.hits, pool.misses) == (0, 1)
+        pool.give(buf)
+        again = pool.take(5)
+        assert (pool.hits, pool.misses) == (1, 1)
+        assert again.shape == (5,)
+
+    def test_capacity_grows_geometrically(self):
+        pool = BufferPool(np.int64)
+        buf = pool.take(100)
+        base = buf.base
+        assert base is not None and base.shape[0] >= 128
+        pool.give(buf)
+        # the grown backing array satisfies any request up to its capacity
+        big = pool.take(base.shape[0])
+        assert big.base is base or big is base
+
+    def test_too_small_pooled_buffer_is_a_miss(self):
+        pool = BufferPool(np.float64)
+        pool.give(pool.take(4))
+        buf = pool.take(1000)
+        assert pool.misses == 2
+        assert buf.shape == (1000,)
+
+    def test_prefers_smallest_sufficient_base(self):
+        pool = BufferPool(np.float64)
+        small, large = pool.take(16), pool.take(4096)
+        small_base, large_base = small.base, large.base
+        pool.give(small, large)
+        got = pool.take(8)
+        assert got.base is small_base
+        assert large_base in pool._free
+
+
+class TestGive:
+    def test_foreign_dtype_rejected(self):
+        pool = BufferPool(PAIR)
+        pool.give(np.zeros(8, dtype=np.float64))
+        assert pool._free == []
+
+    def test_cap_respected(self):
+        pool = BufferPool(np.float64)
+        for _ in range(_MAX_POOLED + 10):
+            pool.give(np.empty(4, dtype=np.float64))
+        assert len(pool._free) == _MAX_POOLED
+
+    def test_clear(self):
+        pool = BufferPool(np.float64)
+        pool.give(pool.take(8))
+        pool.clear()
+        assert pool._free == []
+        assert pool.take(8).shape == (8,)
+
+
+def test_pool_roundtrip_contents_independent():
+    # A recycled buffer is fully overwritable scratch: writes through a
+    # taken view land in the backing array, and a later take of the same
+    # backing array does not alias a *live* buffer (we gave it back first).
+    pool = BufferPool(np.int64)
+    a = pool.take(6)
+    a[:] = np.arange(6)
+    pool.give(a)
+    b = pool.take(6)
+    b[:] = 7
+    assert (b == 7).all()

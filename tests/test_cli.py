@@ -119,3 +119,29 @@ class TestTraceCommand:
     def test_trace_requires_algo(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["trace"])
+
+
+class TestPerf:
+    def test_perf_smoke_appends_trajectory(self, capsys, tmp_path):
+        out = tmp_path / "traj.json"
+        rc = main(
+            ["perf", "--scale", "6", "--ranks", "4", "--repeats", "1",
+             "--label", "smoke", "--out", str(out)]
+        )
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "algorithms:" in text and "primitives:" in text
+        assert "appended entry 1" in text
+        doc = json.loads(out.read_text())
+        assert doc["schema"] == "repro.bench.simulator.v1"
+        assert doc["entries"][0]["label"] == "smoke"
+
+    def test_perf_no_primitives_prints_algorithms_only(self, capsys):
+        rc = main(
+            ["perf", "--scale", "6", "--ranks", "4", "--repeats", "1",
+             "--no-primitives"]
+        )
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "algorithms:" in text
+        assert "primitives:" not in text
