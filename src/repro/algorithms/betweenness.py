@@ -30,7 +30,8 @@ __all__ = ["betweenness"]
 def _forward_sigma(engine: Engine, levels_local: list[np.ndarray], depth_max: int):
     """Level-synchronous shortest-path counting into state ``sigma``."""
     for d in range(1, depth_max + 1):
-        for ctx in engine:
+
+        def count_paths(ctx):
             sigma = ctx.get("sigma")
             level = levels_local[ctx.rank]
             acc = ctx.get("acc")
@@ -40,8 +41,11 @@ def _forward_sigma(engine: Engine, levels_local: list[np.ndarray], depth_max: in
             if src.size:
                 sel = (level[src] == d) & (level[dst] == d - 1)
                 scatter_reduce(acc, src[sel], sigma[dst[sel]], "sum")
+
+        engine.foreach(count_paths)
         dense_pull(engine, "acc", op="sum")
-        for ctx in engine:
+
+        def commit_sigma(ctx):
             sigma = ctx.get("sigma")
             acc = ctx.get("acc")
             level = levels_local[ctx.rank]
@@ -49,11 +53,14 @@ def _forward_sigma(engine: Engine, levels_local: list[np.ndarray], depth_max: in
             sigma[at_d] = acc[at_d]
             engine.charge_vertices(ctx.rank, ctx.n_total)
 
+        engine.foreach(commit_sigma)
+
 
 def _backward_delta(engine: Engine, levels_local: list[np.ndarray], depth_max: int):
     """Dependency accumulation into state ``delta`` (descending levels)."""
     for d in range(depth_max, 0, -1):
-        for ctx in engine:
+
+        def accumulate(ctx):
             sigma = ctx.get("sigma")
             delta = ctx.get("delta")
             level = levels_local[ctx.rank]
@@ -66,8 +73,11 @@ def _backward_delta(engine: Engine, levels_local: list[np.ndarray], depth_max: i
                 w = dst[sel]
                 contrib = (1.0 + delta[w]) / np.maximum(sigma[w], 1.0)
                 scatter_reduce(acc, src[sel], contrib, "sum")
+
+        engine.foreach(accumulate)
         dense_pull(engine, "acc", op="sum")
-        for ctx in engine:
+
+        def commit_delta(ctx):
             sigma = ctx.get("sigma")
             delta = ctx.get("delta")
             acc = ctx.get("acc")
@@ -75,6 +85,8 @@ def _backward_delta(engine: Engine, levels_local: list[np.ndarray], depth_max: i
             at = level == d - 1
             delta[at] = sigma[at] * acc[at]
             engine.charge_vertices(ctx.rank, ctx.n_total)
+
+        engine.foreach(commit_delta)
 
 
 def betweenness(
@@ -129,16 +141,20 @@ def betweenness(
         # Distribute levels to the ranks once (BFS already left a
         # consistent 'level' state behind, but it is in relabeled LID
         # space and uses inf; rebuild a clean copy locally).
-        levels_local = []
-        for ctx in engine:
-            lv = ctx.get("level")
-            levels_local.append(np.where(np.isfinite(lv), lv, -1).astype(np.int64))
-        for ctx in engine:
+        levels_local = engine.map_ranks(
+            lambda ctx: np.where(
+                np.isfinite(ctx.get("level")), ctx.get("level"), -1
+            ).astype(np.int64)
+        )
+
+        def init_brandes(ctx):
             sigma = ctx.alloc("sigma", np.float64)
-            delta = ctx.alloc("delta", np.float64)
-            acc = ctx.alloc("acc", np.float64)
+            ctx.alloc("delta", np.float64)
+            ctx.alloc("acc", np.float64)
             sigma[levels_local[ctx.rank] == 0] = 1.0
             engine.charge_vertices(ctx.rank, ctx.n_total)
+
+        engine.foreach(init_brandes)
         if depth_max > 0:
             _forward_sigma(engine, levels_local, depth_max)
             _backward_delta(engine, levels_local, depth_max)

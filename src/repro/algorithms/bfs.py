@@ -60,18 +60,19 @@ def bfs(
 
     compute_global_degrees(engine)
     m_total = 0.0
-    for ctx in engine:
+
+    def alloc_state(ctx):
         ctx.alloc("parent", np.float64, fill=INF)
         ctx.alloc("level", np.float64, fill=INF)
+
+    engine.foreach(alloc_state)
     # Global edge count (sum of global degrees over one row partition).
     for id_r, ranks in engine.row_groups():
         ctx0 = engine.ctx(ranks[0])
         m_total += float(ctx0.get("deg")[ctx0.row_slice].sum())
 
     # Seed the root everywhere it is visible.
-    frontier: list[np.ndarray] = []
-    root_deg = 0.0
-    for ctx in engine:
+    def seed_root(ctx):
         lm = ctx.localmap
         parent = ctx.get("parent")
         level = ctx.get("level")
@@ -83,13 +84,18 @@ def bfs(
         for lid in lids:
             parent[lid] = root_rel
             level[lid] = 0.0
-        if lids:
-            root_deg = float(ctx.get("deg")[lids[0]])
-        frontier.append(
+        deg = float(ctx.get("deg")[lids[0]]) if lids else None
+        entry = (
             np.array([lm.row_lid(root_rel)], dtype=np.int64)
             if lm.row_start <= root_rel < lm.row_stop
             else np.empty(0, dtype=np.int64)
         )
+        return entry, deg
+
+    seeded = engine.map_ranks(seed_root)
+    frontier: list[np.ndarray] = [entry for entry, _ in seeded]
+    # Every rank seeing the root reads the same global degree.
+    root_deg = next((d for _, d in seeded if d is not None), 0.0)
 
     n_visited = 1
     m_frontier = root_deg
@@ -110,22 +116,22 @@ def bfs(
                 bottom_up = False
         direction_log.append("bottom-up" if bottom_up else "top-down")
 
-        queues: list[np.ndarray] = []
         if not bottom_up:
             # Top-down: expand the frontier, claim unvisited ghosts.
-            for ctx in engine:
+            def top_down(ctx):
                 parent = ctx.get("parent")
                 rows = frontier[ctx.rank]
                 degs = ctx.local_degrees()[rows - ctx.localmap.row_offset]
                 engine.charge_edges(ctx.rank, degs)
                 src, dst, _ = ctx.expand(rows)
                 if dst.size == 0:
-                    queues.append(np.empty(0, dtype=np.int64))
-                    continue
+                    return np.empty(0, dtype=np.int64)
                 unvisited = parent[dst] == INF
                 src, dst = src[unvisited], dst[unvisited]
                 cand_parent = ctx.localmap.row_gid(src).astype(np.float64)
-                queues.append(scatter_reduce(parent, dst, cand_parent, "min"))
+                return scatter_reduce(parent, dst, cand_parent, "min")
+
+            queues = engine.map_ranks(top_down)
             result = sparse_push(engine, "parent", queues, op="min")
         else:
             # Bottom-up: every unvisited owned vertex scans for a
@@ -137,7 +143,7 @@ def bfs(
             # regime where the paper switches to dense communications
             # (§3.3.1), and the dense slice avoids the per-pair
             # duplication a queue exchange would ship.
-            for ctx in engine:
+            def bottom_up_scan(ctx):
                 parent = ctx.get("parent")
                 level = ctx.get("level")
                 lm = ctx.localmap
@@ -151,6 +157,8 @@ def bfs(
                     src, dst = src[in_frontier], dst[in_frontier]
                     cand_parent = ctx.localmap.col_gid(dst).astype(np.float64)
                     scatter_reduce(parent, src, cand_parent, "min")
+
+            engine.foreach(bottom_up_scan)
             dense_pull(engine, "parent", op="min")
             result = None
 
@@ -175,21 +183,21 @@ def bfs(
 
         # Record levels of freshly visited vertices and build the next
         # frontier (newly visited owned vertices, consistent per group).
-        new_frontier: list[np.ndarray] = []
         m_frontier_prev = m_frontier
         m_frontier = 0.0
-        for ctx in engine:
+
+        def fresh_levels(ctx):
             parent = ctx.get("parent")
             level = ctx.get("level")
             fresh = np.flatnonzero((parent != INF) & (level == INF))
             level[fresh] = depth
             engine.charge_vertices(ctx.rank, ctx.n_total)
             if result is not None:
-                rows = np.asarray(result.active_row[ctx.rank], dtype=np.int64)
-            else:
-                rs = ctx.row_slice
-                rows = fresh[(fresh >= rs.start) & (fresh < rs.stop)]
-            new_frontier.append(rows)
+                return np.asarray(result.active_row[ctx.rank], dtype=np.int64)
+            rs = ctx.row_slice
+            return fresh[(fresh >= rs.start) & (fresh < rs.stop)]
+
+        new_frontier = engine.map_ranks(fresh_levels)
         for id_r, ranks in engine.row_groups():
             ctx0 = engine.ctx(ranks[0])
             rows = new_frontier[ranks[0]]

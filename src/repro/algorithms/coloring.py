@@ -90,16 +90,20 @@ def greedy_coloring(
     prio_global = color_priorities(n, seed)
 
     engine.scatter_global("prio", prio_global)
-    for ctx in engine:
+
+    def init_state(ctx):
         ctx.alloc("color", np.float64, fill=_UNCOLORED)
         ctx.alloc("maxp", np.float64)
         engine.charge_vertices(ctx.rank, ctx.n_total)
 
+    engine.foreach(init_state)
+
     rounds = 0
     while True:
         rounds += 1
+
         # ---- 1. max uncolored-neighbor priority (dense pull MAX) ------
-        for ctx in engine:
+        def max_uncolored(ctx):
             color = ctx.get("color")
             prio = ctx.get("prio")
             maxp = ctx.get("maxp")
@@ -109,91 +113,110 @@ def greedy_coloring(
             if src.size:
                 unc = color[dst] < 0
                 scatter_reduce(maxp, src[unc], prio[dst[unc]], "max")
+
+        engine.foreach(max_uncolored)
         dense_pull(engine, "maxp", op="max")
 
         # ---- 2. winners pick the smallest absent neighborhood color ---
         # Collect neighbor-color histograms for the candidate winners
         # (2.5D owner exchange, exactly the LP machinery).
-        n_colored = 0
-        changed_rows: list[np.ndarray] = [np.empty(0, dtype=np.int64)] * grid.n_ranks
-        for id_r, ranks in engine.row_groups():
-            rs, re = part.row_range(id_r)
+        def build_winner_histograms(ctx):
+            rs, re = part.row_range(ctx.block.id_r)
             bounds = owner_chunks(rs, re, grid.R)
-            send = []
-            for r in ranks:
-                ctx = engine.ctx(r)
-                color = ctx.get("color")
-                prio = ctx.get("prio")
-                maxp = ctx.get("maxp")
-                rows = ctx.row_lids()
-                winners = rows[
-                    (color[rows] < 0) & (prio[rows] >= maxp[rows])
-                ]
-                src, dst, _ = ctx.expand(winners)
-                engine.charge_edges(
-                    ctx.rank, ctx.local_degrees()[winners - ctx.localmap.row_offset]
-                )
-                colored = color[dst] >= 0 if dst.size else np.empty(0, dtype=bool)
-                tri = build_histogram(
-                    ctx.localmap.row_gid(src[colored]), color[dst[colored]]
-                )
-                # winners with no colored neighbors still need an entry;
-                # emit a sentinel color -1 so owners see them
-                lonely = winners[
-                    ~np.isin(winners, src[colored])
-                ] if winners.size else winners
-                sentinel = build_histogram(
-                    ctx.localmap.row_gid(lonely), np.full(lonely.size, -1.0)
-                )
-                tri = np.concatenate([tri, sentinel])
-                owners = owner_of_vertex(tri["gid"], bounds)
-                order = np.argsort(owners, kind="stable")
-                tri, owners = tri[order], owners[order]
-                cuts = np.searchsorted(owners, np.arange(grid.R + 1))
-                send.append([tri[cuts[k] : cuts[k + 1]] for k in range(grid.R)])
-                engine.charge_vertices(r, tri.size)
-            received = engine.comm.alltoallv(ranks, send)
-            finals = []
+            color = ctx.get("color")
+            prio = ctx.get("prio")
+            maxp = ctx.get("maxp")
+            rows = ctx.row_lids()
+            winners = rows[(color[rows] < 0) & (prio[rows] >= maxp[rows])]
+            src, dst, _ = ctx.expand(winners)
+            engine.charge_edges(
+                ctx.rank, ctx.local_degrees()[winners - ctx.localmap.row_offset]
+            )
+            colored = color[dst] >= 0 if dst.size else np.empty(0, dtype=bool)
+            tri = build_histogram(
+                ctx.localmap.row_gid(src[colored]), color[dst[colored]]
+            )
+            # winners with no colored neighbors still need an entry;
+            # emit a sentinel color -1 so owners see them
+            lonely = winners[
+                ~np.isin(winners, src[colored])
+            ] if winners.size else winners
+            sentinel = build_histogram(
+                ctx.localmap.row_gid(lonely), np.full(lonely.size, -1.0)
+            )
+            tri = np.concatenate([tri, sentinel])
+            owners = owner_of_vertex(tri["gid"], bounds)
+            order = np.argsort(owners, kind="stable")
+            tri, owners = tri[order], owners[order]
+            cuts = np.searchsorted(owners, np.arange(grid.R + 1))
+            engine.charge_vertices(ctx.rank, tri.size)
+            return [tri[cuts[k] : cuts[k + 1]] for k in range(grid.R)]
+
+        sends = engine.map_ranks(build_winner_histograms)
+        received_of: list[np.ndarray | None] = [None] * grid.n_ranks
+        for id_r, ranks in engine.row_groups():
+            received = engine.comm.alltoallv(ranks, [sends[r] for r in ranks])
             for pos, r in enumerate(ranks):
-                merged = merge_histograms(received[pos])
-                gids, chosen = _smallest_absent(merged)
-                engine.charge_vertices(r, merged.size)
-                buf = np.empty(gids.size, dtype=PAIR_DTYPE)
-                buf["gid"] = gids
-                buf["val"] = chosen
-                finals.append(buf)
-            rbuf = engine.comm.allgatherv(ranks, finals)
+                received_of[r] = received[pos]
+
+        def choose_colors(ctx):
+            merged = merge_histograms(received_of[ctx.rank])
+            gids, chosen = _smallest_absent(merged)
+            engine.charge_vertices(ctx.rank, merged.size)
+            buf = np.empty(gids.size, dtype=PAIR_DTYPE)
+            buf["gid"] = gids
+            buf["val"] = chosen
+            return buf
+
+        finals = engine.map_ranks(choose_colors)
+
+        n_colored = 0
+        rbuf_of: list[np.ndarray | None] = [None] * grid.n_ranks
+        for id_r, ranks in engine.row_groups():
+            rbuf = engine.comm.allgatherv(ranks, [finals[r] for r in ranks])
             for r in ranks:
-                ctx = engine.ctx(r)
-                lm = ctx.localmap
-                color = ctx.get("color")
-                lids = lm.row_lid(rbuf["gid"])
-                color[lids] = rbuf["val"]
-                engine.charge_vertices(r, rbuf.size)
-                changed_rows[r] = np.asarray(lids, dtype=np.int64)
+                rbuf_of[r] = rbuf
             if ranks:
                 n_colored += int(np.unique(rbuf["gid"]).size)
 
+        def apply_colors(ctx):
+            lm = ctx.localmap
+            color = ctx.get("color")
+            rbuf = rbuf_of[ctx.rank]
+            lids = lm.row_lid(rbuf["gid"])
+            color[lids] = rbuf["val"]
+            engine.charge_vertices(ctx.rank, rbuf.size)
+            return np.asarray(lids, dtype=np.int64)
+
+        changed_rows = engine.map_ranks(apply_colors)
+
         # ---- 3. refresh ghost colors along column groups ---------------
+        def build_refresh(ctx):
+            lm = ctx.localmap
+            gids = lm.row_gid(changed_rows[ctx.rank])
+            mine = gids[lm.owns_col_gid(gids)]
+            color = ctx.get("color")
+            buf = np.empty(mine.size, dtype=PAIR_DTYPE)
+            buf["gid"] = mine
+            buf["val"] = color[lm.row_lid(mine)]
+            engine.charge_vertices(ctx.rank, mine.size)
+            return buf
+
+        sbufs = engine.map_ranks(build_refresh)
+        rbuf_of = [None] * grid.n_ranks
         for id_c, ranks in engine.col_groups():
-            sbufs = []
+            rbuf = engine.comm.allgatherv(ranks, [sbufs[r] for r in ranks])
             for r in ranks:
-                ctx = engine.ctx(r)
-                lm = ctx.localmap
-                gids = lm.row_gid(changed_rows[r])
-                mine = gids[lm.owns_col_gid(gids)]
-                color = ctx.get("color")
-                buf = np.empty(mine.size, dtype=PAIR_DTYPE)
-                buf["gid"] = mine
-                buf["val"] = color[lm.row_lid(mine)]
-                sbufs.append(buf)
-                engine.charge_vertices(r, mine.size)
-            rbuf = engine.comm.allgatherv(ranks, sbufs)
-            for r in ranks:
-                ctx = engine.ctx(r)
-                lm = ctx.localmap
-                ctx.get("color")[lm.col_lid(rbuf["gid"])] = rbuf["val"]
-                engine.charge_vertices(r, rbuf.size)
+                rbuf_of[r] = rbuf
+
+        def apply_refresh(ctx):
+            lm = ctx.localmap
+            ctx.get("color")[lm.col_lid(rbuf_of[ctx.rank]["gid"])] = rbuf_of[
+                ctx.rank
+            ]["val"]
+            engine.charge_vertices(ctx.rank, rbuf_of[ctx.rank].size)
+
+        engine.foreach(apply_refresh)
 
         engine.clocks.mark_iteration()
         if n_colored == 0:

@@ -47,12 +47,14 @@ _STATE = "cc"
 
 
 def _init_labels(engine: Engine) -> None:
-    for ctx in engine:
+    def init(ctx):
         lm = ctx.localmap
         state = ctx.alloc(_STATE, np.float64)
         state[lm.row_slice] = np.arange(lm.row_start, lm.row_stop)
         state[lm.col_slice] = np.arange(lm.col_start, lm.col_stop)
         engine.charge_vertices(ctx.rank, ctx.n_total)
+
+    engine.foreach(init)
 
 
 def _compute_push(engine: Engine, rows_per_rank) -> list[np.ndarray]:
@@ -60,18 +62,18 @@ def _compute_push(engine: Engine, rows_per_rank) -> list[np.ndarray]:
 
     Returns the per-rank queues of changed column-vertex LIDs.
     """
-    queues = []
-    for ctx in engine:
+
+    def push(ctx):
         rows = rows_per_rank[ctx.rank]
         state = ctx.get(_STATE)
         degs = ctx.local_degrees()[rows - ctx.localmap.row_offset]
         engine.charge_edges(ctx.rank, degs)
         src, dst, _ = ctx.expand(rows)
         if dst.size == 0:
-            queues.append(np.empty(0, dtype=np.int64))
-            continue
-        queues.append(scatter_reduce(state, dst, state[src], "min"))
-    return queues
+            return np.empty(0, dtype=np.int64)
+        return scatter_reduce(state, dst, state[src], "min")
+
+    return engine.map_ranks(push)
 
 
 def _compute_pull(engine: Engine, rows_per_rank) -> list[np.ndarray]:
@@ -79,18 +81,18 @@ def _compute_pull(engine: Engine, rows_per_rank) -> list[np.ndarray]:
 
     Returns the per-rank queues of changed row-vertex LIDs.
     """
-    queues = []
-    for ctx in engine:
+
+    def pull(ctx):
         rows = rows_per_rank[ctx.rank]
         state = ctx.get(_STATE)
         degs = ctx.local_degrees()[rows - ctx.localmap.row_offset]
         engine.charge_edges(ctx.rank, degs)
         src, dst, _ = ctx.expand(rows)
         if src.size == 0:
-            queues.append(np.empty(0, dtype=np.int64))
-            continue
-        queues.append(scatter_reduce(state, src, state[dst], "min"))
-    return queues
+            return np.empty(0, dtype=np.int64)
+        return scatter_reduce(state, src, state[dst], "min")
+
+    return engine.map_ranks(pull)
 
 
 def connected_components(

@@ -54,10 +54,13 @@ def core_numbers(
     # Estimates start at the global degrees (computed with a dense pull
     # over the local degrees, as in PageRank).
     compute_global_degrees(engine)
-    for ctx in engine:
+
+    def init_estimates(ctx):
         est = ctx.alloc(_STATE, np.float64)
         est[...] = ctx.get("deg")
         engine.charge_vertices(ctx.rank, ctx.n_total)
+
+    engine.foreach(init_estimates)
 
     all_rows = [ctx.row_lids() for ctx in engine]
     active = list(all_rows)
@@ -66,73 +69,90 @@ def core_numbers(
     while True:
         iterations += 1
         # ---- per-rank neighbor-estimate histograms -------------------
-        histograms: list[np.ndarray] = []
-        for ctx in engine:
+        def local_histogram(ctx):
             est = ctx.get(_STATE)
             rows = active[ctx.rank]
             degs = ctx.local_degrees()[rows - ctx.localmap.row_offset]
             engine.charge_edges(ctx.rank, degs, work_per_edge=4.0)
             src, dst, _ = ctx.expand(rows)
-            histograms.append(
-                build_histogram(ctx.localmap.row_gid(src), est[dst])
-            )
+            return build_histogram(ctx.localmap.row_gid(src), est[dst])
+
+        histograms = engine.map_ranks(local_histogram)
 
         # ---- 2.5D owner exchange + h-index, per row group -------------
-        changed_rows: list[np.ndarray] = [np.empty(0, dtype=np.int64)] * grid.n_ranks
+        def route_to_owners(ctx):
+            rs, re = part.row_range(ctx.block.id_r)
+            bounds = owner_chunks(rs, re, grid.R)
+            tri = histograms[ctx.rank]
+            owners = owner_of_vertex(tri["gid"], bounds)
+            order = np.argsort(owners, kind="stable")
+            tri, owners = tri[order], owners[order]
+            cuts = np.searchsorted(owners, np.arange(grid.R + 1))
+            engine.charge_vertices(ctx.rank, tri.size)
+            return [tri[cuts[k] : cuts[k + 1]] for k in range(grid.R)]
+
+        sends = engine.map_ranks(route_to_owners)
+        received_of: list[np.ndarray | None] = [None] * grid.n_ranks
+        for id_r, ranks in engine.row_groups():
+            received = engine.comm.alltoallv(ranks, [sends[r] for r in ranks])
+            for pos, r in enumerate(ranks):
+                received_of[r] = received[pos]
+
+        def owner_h_index(ctx):
+            merged = merge_histograms(received_of[ctx.rank])
+            gids, h = h_index_from_histograms(merged)
+            engine.charge_vertices(ctx.rank, merged.size)
+            return _pairs(gids, h.astype(np.float64))
+
+        finals = engine.map_ranks(owner_h_index)
+
+        rbuf_of: list[np.ndarray | None] = [None] * grid.n_ranks
+        for id_r, ranks in engine.row_groups():
+            rbuf = engine.comm.allgatherv(ranks, [finals[r] for r in ranks])
+            for r in ranks:
+                rbuf_of[r] = rbuf
+
+        def apply_estimates(ctx):
+            lm = ctx.localmap
+            est = ctx.get(_STATE)
+            rbuf = rbuf_of[ctx.rank]
+            lids = lm.row_lid(rbuf["gid"])
+            # Monotone: estimates only decrease toward the core number.
+            old = est[lids].copy()
+            est[lids] = np.minimum(old, rbuf["val"])
+            engine.charge_vertices(ctx.rank, rbuf.size)
+            return np.asarray(lids[est[lids] < old], dtype=np.int64)
+
+        changed_rows = engine.map_ranks(apply_estimates)
         n_changed = 0
         for id_r, ranks in engine.row_groups():
-            rs, re = part.row_range(id_r)
-            bounds = owner_chunks(rs, re, grid.R)
-            send = []
-            for r in ranks:
-                tri = histograms[r]
-                owners = owner_of_vertex(tri["gid"], bounds)
-                order = np.argsort(owners, kind="stable")
-                tri, owners = tri[order], owners[order]
-                cuts = np.searchsorted(owners, np.arange(grid.R + 1))
-                send.append([tri[cuts[k] : cuts[k + 1]] for k in range(grid.R)])
-                engine.charge_vertices(r, tri.size)
-            received = engine.comm.alltoallv(ranks, send)
-            finals = []
-            for pos, r in enumerate(ranks):
-                merged = merge_histograms(received[pos])
-                gids, h = h_index_from_histograms(merged)
-                engine.charge_vertices(r, merged.size)
-                finals.append(_pairs(gids, h.astype(np.float64)))
-            rbuf = engine.comm.allgatherv(ranks, finals)
-            for r in ranks:
-                ctx = engine.ctx(r)
-                lm = ctx.localmap
-                est = ctx.get(_STATE)
-                lids = lm.row_lid(rbuf["gid"])
-                # Monotone: estimates only decrease toward the core number.
-                old = est[lids].copy()
-                est[lids] = np.minimum(old, rbuf["val"])
-                engine.charge_vertices(r, rbuf.size)
-                changed_rows[r] = np.asarray(
-                    lids[est[lids] < old], dtype=np.int64
-                )
             if ranks:
                 n_changed += int(changed_rows[ranks[0]].size)
 
         # ---- refresh ghosts along column groups ----------------------
+        def build_refresh(ctx):
+            lm = ctx.localmap
+            gids = lm.row_gid(changed_rows[ctx.rank])
+            mine = gids[lm.owns_col_gid(gids)]
+            est = ctx.get(_STATE)
+            engine.charge_vertices(ctx.rank, mine.size)
+            return _pairs(mine, est[lm.row_lid(mine)])
+
+        sbufs = engine.map_ranks(build_refresh)
+        rbuf_of = [None] * grid.n_ranks
         for id_c, ranks in engine.col_groups():
-            sbufs = []
+            rbuf = engine.comm.allgatherv(ranks, [sbufs[r] for r in ranks])
             for r in ranks:
-                ctx = engine.ctx(r)
-                lm = ctx.localmap
-                gids = lm.row_gid(changed_rows[r])
-                mine = gids[lm.owns_col_gid(gids)]
-                est = ctx.get(_STATE)
-                sbufs.append(_pairs(mine, est[lm.row_lid(mine)]))
-                engine.charge_vertices(r, mine.size)
-            rbuf = engine.comm.allgatherv(ranks, sbufs)
-            for r in ranks:
-                ctx = engine.ctx(r)
-                lm = ctx.localmap
-                est = ctx.get(_STATE)
-                est[lm.col_lid(rbuf["gid"])] = rbuf["val"]
-                engine.charge_vertices(r, rbuf.size)
+                rbuf_of[r] = rbuf
+
+        def apply_refresh(ctx):
+            lm = ctx.localmap
+            est = ctx.get(_STATE)
+            rbuf = rbuf_of[ctx.rank]
+            est[lm.col_lid(rbuf["gid"])] = rbuf["val"]
+            engine.charge_vertices(ctx.rank, rbuf.size)
+
+        engine.foreach(apply_refresh)
 
         # ---- next active queue = neighbors of changed vertices --------
         active = propagate_active_pull(engine, changed_rows)

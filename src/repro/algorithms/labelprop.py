@@ -46,7 +46,8 @@ HASH_WORK_PER_EDGE = 4.0
 
 def _init_labels(engine: Engine) -> None:
     part = engine.partition
-    for ctx in engine:
+
+    def init(ctx):
         lm = ctx.localmap
         label = ctx.alloc(_STATE, np.float64)
         label[lm.row_slice] = part.original_gid(
@@ -56,6 +57,8 @@ def _init_labels(engine: Engine) -> None:
             np.arange(lm.col_start, lm.col_stop)
         )
         engine.charge_vertices(ctx.rank, ctx.n_total)
+
+    engine.foreach(init)
 
 
 def _pairs(gids: np.ndarray, vals: np.ndarray) -> np.ndarray:
@@ -88,74 +91,94 @@ def label_propagation(
         rows_per_rank = active if use_queue else all_rows
 
         # ---- phase 1: local histograms over owned edges -------------
-        histograms: list[np.ndarray] = []
-        for ctx in engine:
+        def local_histogram(ctx):
             label = ctx.get(_STATE)
             rows = rows_per_rank[ctx.rank]
             degs = ctx.local_degrees()[rows - ctx.localmap.row_offset]
             engine.charge_edges(ctx.rank, degs, work_per_edge=HASH_WORK_PER_EDGE)
             src, dst, _ = ctx.expand(rows)
-            histograms.append(
-                build_histogram(ctx.localmap.row_gid(src), label[dst])
-            )
+            return build_histogram(ctx.localmap.row_gid(src), label[dst])
+
+        histograms = engine.map_ranks(local_histogram)
 
         # ---- phase 2: 2.5D owner exchange + mode, per row group -----
-        changed_rows: list[np.ndarray] = [np.empty(0, dtype=np.int64)] * grid.n_ranks
+        # Personalized exchange of histogram triples to owners: routing
+        # is per-rank compute (each rank's owner chunks follow from its
+        # own row group), the exchanges stay sequential per group.
+        def route_to_owners(ctx):
+            rs, re = part.row_range(ctx.block.id_r)
+            bounds = owner_chunks(rs, re, grid.R)
+            tri = histograms[ctx.rank]
+            owners = owner_of_vertex(tri["gid"], bounds)
+            order = np.argsort(owners, kind="stable")
+            tri, owners = tri[order], owners[order]
+            cuts = np.searchsorted(owners, np.arange(grid.R + 1))
+            engine.charge_vertices(ctx.rank, tri.size)
+            return [tri[cuts[k] : cuts[k + 1]] for k in range(grid.R)]
+
+        sends = engine.map_ranks(route_to_owners)
+        received_of: list[np.ndarray | None] = [None] * grid.n_ranks
+        for id_r, ranks in engine.row_groups():
+            received = engine.comm.alltoallv(ranks, [sends[r] for r in ranks])
+            for pos, r in enumerate(ranks):
+                received_of[r] = received[pos]
+
+        # Owner-side merge + mode selection.
+        def merge_and_select(ctx):
+            merged = merge_histograms(received_of[ctx.rank])
+            gids, modes = select_mode(merged)
+            engine.charge_vertices(ctx.rank, merged.size)
+            return _pairs(gids, modes)
+
+        finals = engine.map_ranks(merge_and_select)
+
+        # Broadcast winners back across each row group.
+        rbuf_of: list[np.ndarray | None] = [None] * grid.n_ranks
+        for id_r, ranks in engine.row_groups():
+            rbuf = engine.comm.allgatherv(ranks, [finals[r] for r in ranks])
+            for r in ranks:
+                rbuf_of[r] = rbuf
+
+        def apply_winners(ctx):
+            lm = ctx.localmap
+            label = ctx.get(_STATE)
+            rbuf = rbuf_of[ctx.rank]
+            lids = lm.row_lid(rbuf["gid"])
+            old = label[lids].copy()
+            label[lids] = rbuf["val"]
+            engine.charge_vertices(ctx.rank, rbuf.size)
+            return np.asarray(lids[label[lids] != old], dtype=np.int64)
+
+        changed_rows = engine.map_ranks(apply_winners)
         n_changed = 0
         for id_r, ranks in engine.row_groups():
-            rs, re = part.row_range(id_r)
-            bounds = owner_chunks(rs, re, grid.R)
-            # Personalized exchange of histogram triples to owners.
-            send = []
-            for pos, r in enumerate(ranks):
-                tri = histograms[r]
-                owners = owner_of_vertex(tri["gid"], bounds)
-                order = np.argsort(owners, kind="stable")
-                tri, owners = tri[order], owners[order]
-                cuts = np.searchsorted(owners, np.arange(grid.R + 1))
-                send.append([tri[cuts[k] : cuts[k + 1]] for k in range(grid.R)])
-                engine.charge_vertices(r, tri.size)
-            received = engine.comm.alltoallv(ranks, send)
-            # Owner-side merge + mode selection.
-            finals = []
-            for pos, r in enumerate(ranks):
-                merged = merge_histograms(received[pos])
-                gids, modes = select_mode(merged)
-                engine.charge_vertices(r, merged.size)
-                finals.append(_pairs(gids, modes))
-            # Broadcast winners back across the row group.
-            rbuf = engine.comm.allgatherv(ranks, finals)
-            for r in ranks:
-                ctx = engine.ctx(r)
-                lm = ctx.localmap
-                label = ctx.get(_STATE)
-                lids = lm.row_lid(rbuf["gid"])
-                old = label[lids].copy()
-                label[lids] = rbuf["val"]
-                engine.charge_vertices(r, rbuf.size)
-                diff = lids[label[lids] != old]
-                changed_rows[r] = np.asarray(diff, dtype=np.int64)
             if ranks:
                 n_changed += int(changed_rows[ranks[0]].size)
 
         # ---- phase 3: refresh ghosts along column groups -------------
+        def build_refresh(ctx):
+            lm = ctx.localmap
+            gids = lm.row_gid(changed_rows[ctx.rank])
+            mine = gids[lm.owns_col_gid(gids)]
+            label = ctx.get(_STATE)
+            engine.charge_vertices(ctx.rank, mine.size)
+            return _pairs(mine, label[lm.row_lid(mine)])
+
+        sbufs = engine.map_ranks(build_refresh)
+        rbuf_of = [None] * grid.n_ranks
         for id_c, ranks in engine.col_groups():
-            sbufs = []
+            rbuf = engine.comm.allgatherv(ranks, [sbufs[r] for r in ranks])
             for r in ranks:
-                ctx = engine.ctx(r)
-                lm = ctx.localmap
-                gids = lm.row_gid(changed_rows[r])
-                mine = gids[lm.owns_col_gid(gids)]
-                label = ctx.get(_STATE)
-                sbufs.append(_pairs(mine, label[lm.row_lid(mine)]))
-                engine.charge_vertices(r, mine.size)
-            rbuf = engine.comm.allgatherv(ranks, sbufs)
-            for r in ranks:
-                ctx = engine.ctx(r)
-                lm = ctx.localmap
-                label = ctx.get(_STATE)
-                label[lm.col_lid(rbuf["gid"])] = rbuf["val"]
-                engine.charge_vertices(r, rbuf.size)
+                rbuf_of[r] = rbuf
+
+        def apply_refresh(ctx):
+            lm = ctx.localmap
+            label = ctx.get(_STATE)
+            rbuf = rbuf_of[ctx.rank]
+            label[lm.col_lid(rbuf["gid"])] = rbuf["val"]
+            engine.charge_vertices(ctx.rank, rbuf.size)
+
+        engine.foreach(apply_refresh)
 
         # ---- phase 4: next active queue = neighbors of changes -------
         if use_queue:

@@ -49,11 +49,13 @@ def max_weight_matching(
     engine.reset_timers()
     part, grid = engine.partition, engine.grid
 
-    for ctx in engine:
+    def init_state(ctx):
         ctx.alloc("mate", np.float64, fill=-1.0)
         ctx.alloc("dead", np.float64, fill=0.0)
         ctx.alloc("ptr", np.float64, fill=-1.0)
         engine.charge_vertices(ctx.rank, ctx.n_total)
+
+    engine.foreach(init_state)
 
     rounds = 0
     total_matched = 0
@@ -61,25 +63,19 @@ def max_weight_matching(
         rounds += 1
 
         # ---- 1: local heaviest-available-edge candidates -------------
-        candidates: list[np.ndarray] = []
-        considered: list[np.ndarray] = []
-        for ctx in engine:
+        def local_candidates(ctx):
             mate, dead = ctx.get("mate"), ctx.get("dead")
             lm = ctx.localmap
             rows = ctx.row_lids()
             rows = rows[(mate[rows] < 0) & (dead[rows] == 0)]
-            considered.append(rows)
             degs = ctx.local_degrees()[rows - lm.row_offset]
             engine.charge_edges(ctx.rank, degs, work_per_edge=2.0)
             src, dst, w = ctx.expand(rows)
+            if src.size:
+                avail = (mate[dst] < 0) & (dead[dst] == 0)
+                src, dst, w = src[avail], dst[avail], w[avail]
             if src.size == 0:
-                candidates.append(np.empty(0, dtype=CAND_DTYPE))
-                continue
-            avail = (mate[dst] < 0) & (dead[dst] == 0)
-            src, dst, w = src[avail], dst[avail], w[avail]
-            if src.size == 0:
-                candidates.append(np.empty(0, dtype=CAND_DTYPE))
-                continue
+                return rows, np.empty(0, dtype=CAND_DTYPE)
             nbr_orig = part.original_gid(lm.col_gid(dst))
             order = np.lexsort((nbr_orig, w, src))
             s, wo, no = src[order], w[order], nbr_orig[order]
@@ -89,12 +85,17 @@ def max_weight_matching(
             buf["gid"] = lm.row_gid(s[last])
             buf["w"] = wo[last]
             buf["nbr"] = no[last]
-            candidates.append(buf)
+            return rows, buf
+
+        step1 = engine.map_ranks(local_candidates)
+        considered = [rows for rows, _ in step1]
+        candidates = [cand for _, cand in step1]
 
         # ---- 2: row-group consensus pointers (complex reduction) -----
+        winners_of: list[np.ndarray | None] = [None] * grid.n_ranks
+        rbuf_size_of: list[int] = [0] * grid.n_ranks
         for id_r, ranks in engine.row_groups():
-            sbufs = [candidates[r] for r in ranks]
-            rbuf = engine.comm.allgatherv(ranks, sbufs)
+            rbuf = engine.comm.allgatherv(ranks, [candidates[r] for r in ranks])
             if rbuf.size:
                 order = np.lexsort((rbuf["nbr"], rbuf["w"], rbuf["gid"]))
                 rb = rbuf[order]
@@ -104,45 +105,56 @@ def max_weight_matching(
             else:
                 winners = rbuf
             for r in ranks:
-                ctx = engine.ctx(r)
-                lm = ctx.localmap
-                ptr, dead = ctx.get("ptr"), ctx.get("dead")
-                rows = considered[r]
-                ptr[rows] = -1.0
-                if winners.size:
-                    ptr[lm.row_lid(winners["gid"])] = winners["nbr"]
-                # Vertices with no available edge anywhere are dead.
-                newly_dead = rows[ptr[rows] < 0]
-                dead[newly_dead] = 1.0
-                engine.charge_vertices(r, rbuf.size + rows.size)
+                winners_of[r] = winners
+                rbuf_size_of[r] = rbuf.size
+
+        def apply_pointers(ctx):
+            lm = ctx.localmap
+            ptr, dead = ctx.get("ptr"), ctx.get("dead")
+            rows = considered[ctx.rank]
+            winners = winners_of[ctx.rank]
+            ptr[rows] = -1.0
+            if winners.size:
+                ptr[lm.row_lid(winners["gid"])] = winners["nbr"]
+            # Vertices with no available edge anywhere are dead.
+            newly_dead = rows[ptr[rows] < 0]
+            dead[newly_dead] = 1.0
+            engine.charge_vertices(ctx.rank, rbuf_size_of[ctx.rank] + rows.size)
+
+        engine.foreach(apply_pointers)
 
         # ---- 3: refresh ghost pointers/death along column groups -----
+        def build_refresh(ctx):
+            lm = ctx.localmap
+            rows = considered[ctx.rank]
+            gids = lm.row_gid(rows)
+            mine = rows[lm.owns_col_gid(gids)]
+            buf = np.empty(mine.size, dtype=PTR_DTYPE)
+            buf["gid"] = lm.row_gid(mine)
+            buf["ptr"] = ctx.get("ptr")[mine]
+            buf["dead"] = ctx.get("dead")[mine]
+            engine.charge_vertices(ctx.rank, mine.size)
+            return buf
+
+        sbufs = engine.map_ranks(build_refresh)
+        rbuf_of: list[np.ndarray | None] = [None] * grid.n_ranks
         for id_c, ranks in engine.col_groups():
-            sbufs = []
+            rbuf = engine.comm.allgatherv(ranks, [sbufs[r] for r in ranks])
             for r in ranks:
-                ctx = engine.ctx(r)
-                lm = ctx.localmap
-                rows = considered[r]
-                gids = lm.row_gid(rows)
-                mine = rows[lm.owns_col_gid(gids)]
-                buf = np.empty(mine.size, dtype=PTR_DTYPE)
-                buf["gid"] = lm.row_gid(mine)
-                buf["ptr"] = ctx.get("ptr")[mine]
-                buf["dead"] = ctx.get("dead")[mine]
-                sbufs.append(buf)
-                engine.charge_vertices(r, mine.size)
-            rbuf = engine.comm.allgatherv(ranks, sbufs)
-            for r in ranks:
-                ctx = engine.ctx(r)
-                lm = ctx.localmap
-                lids = lm.col_lid(rbuf["gid"])
-                ctx.get("ptr")[lids] = rbuf["ptr"]
-                ctx.get("dead")[lids] = rbuf["dead"]
-                engine.charge_vertices(r, rbuf.size)
+                rbuf_of[r] = rbuf
+
+        def apply_refresh(ctx):
+            lm = ctx.localmap
+            rbuf = rbuf_of[ctx.rank]
+            lids = lm.col_lid(rbuf["gid"])
+            ctx.get("ptr")[lids] = rbuf["ptr"]
+            ctx.get("dead")[lids] = rbuf["dead"]
+            engine.charge_vertices(ctx.rank, rbuf.size)
+
+        engine.foreach(apply_refresh)
 
         # ---- 4: mutual-pair detection + commit ------------------------
-        queues: list[np.ndarray] = []
-        for ctx in engine:
+        def mutual_pairs(ctx):
             mate, ptr = ctx.get("mate"), ctx.get("ptr")
             lm = ctx.localmap
             rows = considered[ctx.rank]
@@ -150,8 +162,7 @@ def max_weight_matching(
             engine.charge_edges(ctx.rank, degs)
             src, dst, _ = ctx.expand(rows)
             if src.size == 0:
-                queues.append(np.empty(0, dtype=np.int64))
-                continue
+                return np.empty(0, dtype=np.int64)
             src_orig = part.original_gid(lm.row_gid(src))
             dst_orig = part.original_gid(lm.col_gid(dst))
             mutual = (ptr[src] == dst_orig) & (ptr[dst] == src_orig)
@@ -163,7 +174,9 @@ def max_weight_matching(
             # symmetric, so every pair is detected from both sides) and
             # propagated by the exchange below.
             mate[d] = so
-            queues.append(np.unique(d))
+            return np.unique(d)
+
+        queues = engine.map_ranks(mutual_pairs)
         result = sparse_push(engine, "mate", queues, op="max")
         total_matched += result.n_updated
         engine.clocks.mark_iteration()

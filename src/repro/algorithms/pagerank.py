@@ -46,7 +46,7 @@ def compute_global_degrees(
     (paper §3.2: the true degree is the row-group sum of local
     degrees).
     """
-    for ctx in engine:
+    def local_degrees(ctx):
         deg = ctx.alloc(name, np.float64)
         if weighted:
             blk = ctx.block
@@ -63,6 +63,8 @@ def compute_global_degrees(
         else:
             deg[ctx.row_slice] = ctx.local_degrees()
         engine.charge_vertices(ctx.rank, ctx.n_total)
+
+    engine.foreach(local_degrees)
     dense_pull(engine, name, op="sum")
 
 
@@ -106,18 +108,23 @@ def pagerank(
         teleport_global = personalization / personalization.sum()
         engine.scatter_global("tele", teleport_global)
     compute_global_degrees(engine, weighted=weighted)
-    for ctx in engine:
+
+    def alloc_state(ctx):
         ctx.alloc("pr", np.float64, fill=1.0 / n)
         ctx.alloc("acc", np.float64)
 
+    engine.foreach(alloc_state)
+
     iterations_run = 0
     # deg is static after compute_global_degrees, so the per-edge degree
-    # gather (and its zero mask) is iteration-invariant — cache it.
-    deg_dst: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+    # gather (and its zero mask) is iteration-invariant — cache it
+    # (per-rank slots; each closure touches only its own).
+    deg_dst: list[Optional[tuple[np.ndarray, np.ndarray]]] = [None] * grid.n_ranks
     for _ in range(iterations):
         iterations_run += 1
+
         # Local partial gathers.
-        for ctx in engine:
+        def gather_partials(ctx):
             pr = ctx.get("pr")
             deg = ctx.get("deg")
             acc = ctx.get("acc")
@@ -125,7 +132,7 @@ def pagerank(
             src, dst, w = ctx.expand_all()
             engine.charge_edges(ctx.rank, ctx.local_degrees(), cache_key="pr.full")
             if dst.size:
-                if ctx.rank not in deg_dst:
+                if deg_dst[ctx.rank] is None:
                     dd = deg[dst]
                     deg_dst[ctx.rank] = (np.maximum(dd, 1e-300), dd == 0)
                 dd_safe, dd_zero = deg_dst[ctx.rank]
@@ -135,25 +142,26 @@ def pagerank(
                 contrib[dd_zero] = 0.0
                 scatter_reduce(acc, src, contrib, "sum")
 
+        engine.foreach(gather_partials)
+
         # Complete the sums along row groups, refresh ghosts.
         dense_pull(engine, "acc", op="sum")
 
         # Dangling mass: each rank contributes its row window's share
         # divided by the row-group size (R ranks share each window).
-        partials = []
-        for ctx in engine:
+        def dangling_share(ctx):
             pr = ctx.get("pr")
             deg = ctx.get("deg")
             rw = ctx.row_slice
-            dangling = pr[rw][deg[rw] == 0].sum() / grid.R
-            partials.append(np.array([dangling]))
             engine.charge_vertices(ctx.rank, ctx.localmap.n_row)
+            return np.array([pr[rw][deg[rw] == 0].sum() / grid.R])
+
+        partials = engine.map_ranks(dangling_share)
         engine.comm.allreduce(all_ranks, partials, op="sum")
         dangling_total = float(partials[0][0])
 
         # Damping update (acc is consistent on every LID).
-        max_delta = 0.0
-        for ctx in engine:
+        def damping_update(ctx):
             pr = ctx.get("pr")
             acc = ctx.get("acc")
             if personalization is not None:
@@ -163,11 +171,15 @@ def pagerank(
                 )
             else:
                 new = (1.0 - damping) / n + damping * (acc + dangling_total / n)
+            delta = 0.0
             if tol is not None:
                 rw = ctx.row_slice
-                max_delta = max(max_delta, float(np.abs(new[rw] - pr[rw]).max(initial=0.0)))
+                delta = float(np.abs(new[rw] - pr[rw]).max(initial=0.0))
             pr[...] = new
             engine.charge_vertices(ctx.rank, ctx.n_total)
+            return delta
+
+        max_delta = max(engine.map_ranks(damping_update), default=0.0)
         if tol is not None:
             flags = [np.array([max_delta]) for _ in all_ranks]
             engine.comm.allreduce(all_ranks, flags, op="max")

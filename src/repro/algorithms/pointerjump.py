@@ -74,8 +74,7 @@ def pointer_jumping(engine: Engine, max_iterations: int | None = None) -> Algori
     # ---- build the initial forest (min-neighbor rule, by orig id) ----
     # Per-rank local minima of neighbor *original* ids, merged along row
     # groups with the generic sparse machinery (a plain MIN reduction).
-    cand: list[np.ndarray] = []
-    for ctx in engine:
+    def local_minima(ctx):
         lm = ctx.localmap
         rows = ctx.row_lids()
         engine.charge_edges(ctx.rank, ctx.local_degrees(), cache_key="pj.full")
@@ -88,11 +87,12 @@ def pointer_jumping(engine: Engine, max_iterations: int | None = None) -> Algori
             buf = np.empty(have.size, dtype=PAIR_DTYPE)
             buf["gid"] = lm.row_gid(have)
             buf["val"] = best[have]
-        cand.append(buf)
+        return buf
+
+    cand = engine.map_ranks(local_minima)
 
     # Home-rank authoritative parent stores (relabeled GIDs).
-    home_parent: dict[int, np.ndarray] = {}
-    home_gids: dict[int, np.ndarray] = {}
+    group_data: list[tuple[np.ndarray, np.ndarray, int] | None] = [None] * grid.n_ranks
     for id_r, ranks in engine.row_groups():
         rbuf = engine.comm.allgatherv(ranks, [cand[r] for r in ranks])
         rs, re = part.row_range(id_r)
@@ -104,11 +104,20 @@ def pointer_jumping(engine: Engine, max_iterations: int | None = None) -> Algori
         parent_orig = np.where(best < orig, best, orig)
         parent_rel = part.perm[parent_orig]
         for r in ranks:
-            lm = engine.ctx(r).localmap
-            mine = lm.owns_col_gid(gids)
-            home_gids[r] = gids[mine]
-            home_parent[r] = parent_rel[mine]
-            engine.charge_vertices(r, int(rbuf.size))
+            group_data[r] = (gids, parent_rel, int(rbuf.size))
+
+    home_parent: dict[int, np.ndarray] = {}
+    home_gids: dict[int, np.ndarray] = {}
+
+    def claim_home_slice(ctx):
+        gids, parent_rel, nbuf = group_data[ctx.rank]
+        mine = ctx.localmap.owns_col_gid(gids)
+        engine.charge_vertices(ctx.rank, nbuf)
+        return gids[mine], parent_rel[mine]
+
+    for r, (hg, hp) in enumerate(engine.map_ranks(claim_home_slice)):
+        home_gids[r] = hg
+        home_parent[r] = hp
 
     # ---- jump until every pointer reaches a root ----------------------
     # Hot targets (roots accumulate pointers geometrically) would make
@@ -124,37 +133,41 @@ def pointer_jumping(engine: Engine, max_iterations: int | None = None) -> Algori
     iterations = 0
     while True:
         iterations += 1
-        queries: list[np.ndarray] = []
-        for r in all_ranks:
+        def build_queries(ctx):
+            r = ctx.rank
             pending = ~converged[r]
             targets = np.unique(home_parent[r][pending])
             q = np.empty(targets.size, dtype=PJ_DTYPE)
             q["src"] = r  # requesting rank
             q["vert"] = targets
             q["dest"] = _home_ranks(engine, targets)
-            queries.append(q)
             engine.charge_vertices(r, int(pending.sum()) + targets.size)
+            return q
+
+        queries = engine.map_ranks(build_queries)
         arrived = packet_swap(engine, queries)
 
         # Responses: look up p[target], reply to the requesting rank.
-        responses: list[np.ndarray] = []
-        for r in all_ranks:
+        def build_responses(ctx):
+            r = ctx.rank
             inbox = arrived[r]
             lookup = np.searchsorted(home_gids[r], inbox["vert"])
             resp = np.empty(inbox.size, dtype=PJ_DTYPE)
             resp["src"] = inbox["vert"]  # the queried target
             resp["vert"] = home_parent[r][lookup]
             resp["dest"] = inbox["src"]
-            responses.append(resp)
             engine.charge_vertices(r, inbox.size)
+            return resp
+
+        responses = engine.map_ranks(build_responses)
         delivered = packet_swap(engine, responses)
 
         # Apply jumps; a vertex converges once its parent is a root.
-        n_changed = 0
-        for r in all_ranks:
+        def apply_jumps(ctx):
+            r = ctx.rank
             inbox = delivered[r]
             if inbox.size == 0:
-                continue
+                return 0
             # Sorted arrays of {queried target, its parent}.
             order = np.argsort(inbox["src"], kind="stable")
             t_sorted = inbox["src"][order]
@@ -170,8 +183,10 @@ def pointer_jumping(engine: Engine, max_iterations: int | None = None) -> Algori
             conv_idx = np.flatnonzero(pending)
             conv[conv_idx[is_root_parent]] = True
             converged[r] = conv
-            n_changed += int(np.count_nonzero(old != new_vals))
             engine.charge_vertices(r, inbox.size + int(pending.sum()))
+            return int(np.count_nonzero(old != new_vals))
+
+        n_changed = sum(engine.map_ranks(apply_jumps))
 
         # Global convergence check (one-word AllReduce).
         flags = [np.array([float(n_changed)]) for _ in all_ranks]
@@ -183,21 +198,28 @@ def pointer_jumping(engine: Engine, max_iterations: int | None = None) -> Algori
             break
 
     # ---- sync authoritative slices across row groups, then gather ----
-    for ctx in engine:
+    def build_final(ctx):
         ctx.alloc("pj", np.float64, fill=-1.0)
+        r = ctx.rank
+        buf = np.empty(home_gids[r].size, dtype=PAIR_DTYPE)
+        buf["gid"] = home_gids[r]
+        buf["val"] = home_parent[r]
+        return buf
+
+    sbufs = engine.map_ranks(build_final)
+    rbuf_of: list[np.ndarray | None] = [None] * grid.n_ranks
     for id_r, ranks in engine.row_groups():
-        sbufs = []
+        rbuf = engine.comm.allgatherv(ranks, [sbufs[r] for r in ranks])
         for r in ranks:
-            buf = np.empty(home_gids[r].size, dtype=PAIR_DTYPE)
-            buf["gid"] = home_gids[r]
-            buf["val"] = home_parent[r]
-            sbufs.append(buf)
-        rbuf = engine.comm.allgatherv(ranks, sbufs)
-        for r in ranks:
-            ctx = engine.ctx(r)
-            lm = ctx.localmap
-            ctx.get("pj")[lm.row_lid(rbuf["gid"])] = rbuf["val"]
-            engine.charge_vertices(r, rbuf.size)
+            rbuf_of[r] = rbuf
+
+    def apply_final(ctx):
+        lm = ctx.localmap
+        rbuf = rbuf_of[ctx.rank]
+        ctx.get("pj")[lm.row_lid(rbuf["gid"])] = rbuf["val"]
+        engine.charge_vertices(ctx.rank, rbuf.size)
+
+    engine.foreach(apply_final)
 
     roots_rel = engine.gather("pj").astype(np.int64)
     values = part.original_gid(roots_rel)

@@ -42,8 +42,7 @@ def sssp(
     engine.reset_timers()
     root_rel = int(part.perm[root])
 
-    frontier: list[np.ndarray] = []
-    for ctx in engine:
+    def seed_root(ctx):
         lm = ctx.localmap
         dist = ctx.alloc("dist", np.float64, fill=INF)
         if lm.row_start <= root_rel < lm.row_stop:
@@ -51,27 +50,30 @@ def sssp(
         if lm.col_start <= root_rel < lm.col_stop:
             dist[lm.col_lid(root_rel)] = 0.0
         engine.charge_vertices(ctx.rank, ctx.n_total)
-        frontier.append(
+        return (
             np.array([lm.row_lid(root_rel)], dtype=np.int64)
             if lm.row_start <= root_rel < lm.row_stop
             else np.empty(0, dtype=np.int64)
         )
 
+    frontier = engine.map_ranks(seed_root)
+
     iterations = 0
     while True:
         iterations += 1
-        queues: list[np.ndarray] = []
-        for ctx in engine:
+
+        def relax(ctx):
             dist = ctx.get("dist")
             rows = frontier[ctx.rank]
             degs = ctx.local_degrees()[rows - ctx.localmap.row_offset]
             engine.charge_edges(ctx.rank, degs, work_per_edge=1.5)
             src, dst, w = ctx.expand(rows)
             if dst.size == 0:
-                queues.append(np.empty(0, dtype=np.int64))
-                continue
+                return np.empty(0, dtype=np.int64)
             cand = dist[src] + w
-            queues.append(scatter_reduce(dist, dst, cand, "min"))
+            return scatter_reduce(dist, dst, cand, "min")
+
+        queues = engine.map_ranks(relax)
         result = sparse_push(engine, "dist", queues, op="min")
         frontier = result.active_row
         engine.clocks.mark_iteration()

@@ -56,8 +56,12 @@ def triangle_count(engine: Engine) -> AlgorithmResult:
     row_share = engine.stage_nic_sharing("row")
     col_share = engine.stage_nic_sharing("col")
 
-    blocks = {r: _block_csr(engine, r) for r in all_ranks}
-    masks = {r: blocks[r].astype(bool) for r in all_ranks}
+    blocks = dict(
+        zip(all_ranks, engine.map_ranks(lambda ctx: _block_csr(engine, ctx.rank)))
+    )
+    masks = dict(
+        zip(all_ranks, engine.map_ranks(lambda ctx: blocks[ctx.rank].astype(bool)))
+    )
     partial = np.zeros(grid.n_ranks)
 
     for k in range(side):
@@ -95,7 +99,8 @@ def triangle_count(engine: Engine) -> AlgorithmResult:
                 right[r] = payload
 
         # Local masked multiply-accumulate.
-        for r in all_ranks:
+        def multiply_accumulate(ctx):
+            r = ctx.rank
             a, b, mask = left[r], right[r], masks[r]
             prod = (a @ b).multiply(mask)
             partial[r] += prod.sum()
@@ -104,6 +109,8 @@ def triangle_count(engine: Engine) -> AlgorithmResult:
                 np.array([a.nnz + b.nnz + prod.nnz]),
                 work_per_edge=2.0,
             )
+
+        engine.foreach(multiply_accumulate)
         engine.clocks.mark_iteration()
 
     # Combine partial counts.

@@ -41,17 +41,16 @@ def spmv_engine(
 
 def _block_matrices(engine: Engine) -> list[sp.csr_matrix]:
     """SciPy CSR views of each rank's block in LID column space."""
-    mats = []
-    for ctx in engine:
+
+    def build(ctx):
         blk = ctx.block
         n_rows = blk.localmap.n_row
         data = np.ones(blk.indices.size)
-        mats.append(
-            sp.csr_matrix(
-                (data, blk.indices, blk.indptr), shape=(n_rows, ctx.n_total)
-            )
+        return sp.csr_matrix(
+            (data, blk.indices, blk.indptr), shape=(n_rows, ctx.n_total)
         )
-    return mats
+
+    return engine.map_ranks(build)
 
 
 def _charge_spmv(engine: Engine, rank: int, n_edges: int, n_vertices: int) -> None:
@@ -95,12 +94,16 @@ def spmv_pagerank(
     from ..algorithms.pagerank import compute_global_degrees
 
     compute_global_degrees(engine)
-    for ctx in engine:
+
+    def alloc_state(ctx):
         ctx.alloc("pr", np.float64, fill=1.0 / n)
         ctx.alloc("acc", np.float64)
 
+    engine.foreach(alloc_state)
+
     for _ in range(iterations):
-        for ctx in engine:
+
+        def spmv_step(ctx):
             pr, deg, acc = ctx.get("pr"), ctx.get("deg"), ctx.get("acc")
             x = pr / np.maximum(deg, 1.0)
             x[deg == 0] = 0.0
@@ -109,18 +112,25 @@ def spmv_pagerank(
             _charge_spmv(
                 engine, ctx.rank, ctx.block.n_local_edges, ctx.n_total
             )
+
+        engine.foreach(spmv_step)
         dense_pull(engine, "acc", op="sum")
-        partials = []
-        for ctx in engine:
+
+        def dangling_partial(ctx):
             pr, deg = ctx.get("pr"), ctx.get("deg")
             rw = ctx.row_slice
-            partials.append(np.array([pr[rw][deg[rw] == 0].sum() / grid.R]))
+            return np.array([pr[rw][deg[rw] == 0].sum() / grid.R])
+
+        partials = engine.map_ranks(dangling_partial)
         engine.comm.allreduce(all_ranks, partials, op="sum")
         dangling = float(partials[0][0])
-        for ctx in engine:
+
+        def damping_update(ctx):
             pr, acc = ctx.get("pr"), ctx.get("acc")
             pr[...] = (1.0 - damping) / n + damping * (acc + dangling / n)
             _charge_spmv(engine, ctx.rank, 0, ctx.n_total)
+
+        engine.foreach(damping_update)
         engine.clocks.mark_iteration()
 
     return AlgorithmResult(
@@ -136,11 +146,13 @@ def spmv_cc(engine: Engine, max_iterations: int | None = None) -> AlgorithmResul
     engine.reset_timers()
     part, grid = engine.partition, engine.grid
     all_ranks = list(range(grid.n_ranks))
-    for ctx in engine:
+    def init_labels(ctx):
         lm = ctx.localmap
         lab = ctx.alloc("cc", np.float64)
         lab[lm.row_slice] = np.arange(lm.row_start, lm.row_stop)
         lab[lm.col_slice] = np.arange(lm.col_start, lm.col_stop)
+
+    engine.foreach(init_labels)
 
     iterations = 0
     while True:
@@ -150,12 +162,14 @@ def spmv_cc(engine: Engine, max_iterations: int | None = None) -> AlgorithmResul
             for id_r, ranks in engine.row_groups()
         }
         # Min-plus "SpMV": every edge participates, no frontier.
-        for ctx in engine:
+        def minplus_spmv(ctx):
             lab = ctx.get("cc")
             src, dst, _ = ctx.expand_all()
             _charge_semiring(engine, ctx.rank, ctx.block.n_local_edges, ctx.n_total)
             if dst.size:
                 scatter_reduce(lab, src, lab[dst], "min")
+
+        engine.foreach(minplus_spmv)
         dense_pull(engine, "cc", op="min")
         n_changed = 0
         for id_r, ranks in engine.row_groups():
@@ -190,7 +204,8 @@ def spmv_bfs(engine: Engine, root: int) -> AlgorithmResult:
     n = part.n_vertices
     all_ranks = list(range(grid.n_ranks))
     root_rel = int(part.perm[root])
-    for ctx in engine:
+
+    def seed_root(ctx):
         lm = ctx.localmap
         lvl = ctx.alloc("level", np.float64, fill=np.inf)
         frontier = ctx.alloc("front", np.float64)
@@ -201,13 +216,15 @@ def spmv_bfs(engine: Engine, root: int) -> AlgorithmResult:
             lvl[lm.col_lid(root_rel)] = 0
             frontier[lm.col_lid(root_rel)] = 1.0
 
+    engine.foreach(seed_root)
+
     depth = 0
     while True:
         depth += 1
         # next = A x frontier (push across the whole matrix), masked by
         # unvisited; communicated densely.
-        for ctx in engine:
-            lvl, frontier = ctx.get("level"), ctx.get("front")
+        def masked_spmv(ctx):
+            frontier = ctx.get("front")
             nxt = ctx.alloc("next", np.float64)
             nxt[...] = 0.0
             src, dst, _ = ctx.expand_all()
@@ -215,9 +232,12 @@ def spmv_bfs(engine: Engine, root: int) -> AlgorithmResult:
             if dst.size:
                 hits = frontier[src] > 0
                 scatter_reduce(nxt, dst[hits], 1.0, "max")
+
+        engine.foreach(masked_spmv)
         dense_push(engine, "next", op="max")
         n_new = 0
-        for ctx in engine:
+
+        def advance_frontier(ctx):
             lvl, nxt = ctx.get("level"), ctx.get("next")
             fresh = (nxt > 0) & ~np.isfinite(lvl)
             lvl[fresh] = depth
@@ -225,6 +245,8 @@ def spmv_bfs(engine: Engine, root: int) -> AlgorithmResult:
             frontier[...] = 0.0
             frontier[fresh] = 1.0
             _charge_semiring(engine, ctx.rank, 0, ctx.n_total)
+
+        engine.foreach(advance_frontier)
         for id_r, ranks in engine.row_groups():
             ctx0 = engine.ctx(ranks[0])
             n_new += int(

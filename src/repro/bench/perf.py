@@ -26,6 +26,7 @@ Run via ``python -m repro perf`` or :func:`run_perf` directly.
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 import time
 from typing import Callable, Optional
@@ -33,6 +34,7 @@ from typing import Callable, Optional
 import numpy as np
 
 from ..core.engine import Engine
+from ..exec import RankExecutor, SerialExecutor, resolve_executor
 from ..graph.generators import rmat
 from ..kernels import scatter_reduce
 from ..patterns.dense import dense_pull
@@ -130,10 +132,18 @@ def run_perf(
     repeats: int = 3,
     label: str = "",
     primitives: bool = True,
+    executor: "RankExecutor | str | None" = None,
 ) -> dict:
-    """Run the full protocol; return one trajectory entry."""
+    """Run the full protocol; return one trajectory entry.
+
+    ``executor`` selects the rank-execution backend (an instance, a
+    spec string like ``"threads:4"``, or ``None`` for the environment
+    default) and is recorded in the entry's protocol so trajectory
+    entries from different backends stay distinguishable.
+    """
     graph = rmat(scale, seed=1)
-    engine = Engine(graph, n_ranks=ranks)
+    ex = resolve_executor(executor)
+    engine = Engine(graph, n_ranks=ranks, executor=ex)
     entry = {
         "label": label,
         "recorded": time.strftime("%Y-%m-%dT%H:%M:%S"),
@@ -144,6 +154,9 @@ def run_perf(
             "n_edges": graph.n_edges,
             "ranks": ranks,
             "repeats": repeats,
+            "executor": "serial" if isinstance(ex, SerialExecutor) else "threads",
+            "workers": ex.workers,
+            "host_cpus": os.cpu_count() or 1,
         },
         "algorithms": measure_algorithms(engine, repeats=repeats),
     }

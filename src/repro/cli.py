@@ -159,6 +159,7 @@ def _cmd_perf(args: argparse.Namespace) -> int:
         repeats=args.repeats,
         label=args.label,
         primitives=not args.no_primitives,
+        executor=args.executor,
     )
     for section in ("algorithms", "primitives"):
         if section not in entry:
@@ -263,6 +264,11 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument(
         "--no-primitives", action="store_true",
         help="skip the primitive micro-timings (algorithms only)",
+    )
+    perf.add_argument(
+        "--executor", default=None, metavar="SPEC",
+        help="rank executor: 'serial', 'threads', or 'threads:N' "
+             "(default: the REPRO_EXECUTOR environment variable, else serial)",
     )
     perf.set_defaults(func=_cmd_perf)
 

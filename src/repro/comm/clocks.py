@@ -85,6 +85,18 @@ class VirtualClocks:
         self.clock[idx] = t
         self.comm[idx] += seconds
 
+    def reset(self) -> None:
+        """Zero all clocks and drop marks, preserving identity.
+
+        In-place so that every holder of this object (``Communicator``,
+        ``TraceRecorder``, callers) observes the reset.
+        """
+        self.clock[:] = 0.0
+        self.compute[:] = 0.0
+        self.comm[:] = 0.0
+        self.iteration_marks.clear()
+        self.counter_marks.clear()
+
     def barrier(self, ranks: Sequence[int] | None = None) -> None:
         """Synchronize without charging time."""
         idx = (

@@ -137,6 +137,11 @@ class CommCounters:
         """Immutable copy of the current per-kind statistics."""
         return CounterSnapshot.of(self)
 
+    def reset(self) -> None:
+        """Drop all recorded statistics, preserving identity (holders
+        of this object observe the reset)."""
+        self.by_kind.clear()
+
     # ------------------------------------------------------------------
     # totals
     # ------------------------------------------------------------------

@@ -15,6 +15,7 @@ import numpy as np
 
 from ..cluster.device import VirtualGPU
 from ..graph.partition.twod import RankBlock
+from ..kernels.buffers import BufferPool
 from ..queueing.frontier import expand_block
 
 __all__ = ["RankContext"]
@@ -29,6 +30,7 @@ class RankContext:
         self.arrays: dict[str, np.ndarray] = {}
         self._local_degrees: Optional[np.ndarray] = None
         self._expand_all_cache = None
+        self._scratch_pools: dict[np.dtype, BufferPool] = {}
         # Charge the static graph structure, as the paper's loader does
         # when moving the CSR to the GPU.
         device.charge("graph.indptr", block.indptr.nbytes)
@@ -64,6 +66,21 @@ class RankContext:
         if self._local_degrees is None:
             self._local_degrees = self.block.local_row_degrees()
         return self._local_degrees
+
+    def scratch_pool(self, dtype) -> BufferPool:
+        """This rank's :class:`BufferPool` for ``dtype`` scratch buffers.
+
+        Per-rank pools keep buffer recycling race-free under the
+        threaded rank executor: during the parallel build phase each
+        rank's closure takes only from its own pool, and buffers are
+        given back in the sequential collective phase — the pool never
+        sees concurrent calls.
+        """
+        dt = np.dtype(dtype)
+        pool = self._scratch_pools.get(dt)
+        if pool is None:
+            pool = self._scratch_pools[dt] = BufferPool(dt)
+        return pool
 
     # ------------------------------------------------------------------
     # state arrays

@@ -22,7 +22,7 @@ Typical usage::
 
 from __future__ import annotations
 
-from typing import Iterator, Optional
+from typing import Iterator, Optional, Sequence
 
 import numpy as np
 
@@ -34,6 +34,7 @@ from ..comm.clocks import VirtualClocks
 from ..comm.collectives import Communicator
 from ..comm.counters import CommCounters
 from ..comm.grid import Grid2D, square_grid
+from ..exec import RankExecutor, resolve_executor
 from ..graph.csr import Graph
 from ..graph.partition.twod import TwoDPartition, partition_2d
 from ..queueing.manhattan import manhattan_schedule, vertex_per_thread_balance
@@ -72,6 +73,13 @@ class Engine:
     enforce_memory:
         Raise :class:`~repro.cluster.device.DeviceMemoryError` on
         over-subscription instead of just recording it.
+    executor:
+        Rank-execution strategy for per-rank superstep closures
+        (see :mod:`repro.exec`): a :class:`~repro.exec.RankExecutor`
+        instance, ``"serial"``, ``"threads"``, ``"threads:N"``, or
+        ``None`` to consult the ``REPRO_EXECUTOR`` environment
+        variable (default serial).  Either way results are
+        deterministic — see :meth:`map_ranks`.
     """
 
     def __init__(
@@ -86,6 +94,7 @@ class Engine:
         memory_scale: float = 1.0,
         enforce_memory: bool = False,
         seed: int = 0,
+        executor: "RankExecutor | str | None" = None,
     ):
         if grid is None:
             if n_ranks is None:
@@ -113,6 +122,10 @@ class Engine:
         self.counters = CommCounters()
         self.clocks = VirtualClocks(grid.n_ranks, counters=self.counters)
         self.comm = Communicator(self.costmodel, self.clocks, self.counters)
+        self.executor: RankExecutor = resolve_executor(executor)
+        # Precomputed eagerly (the cluster and grid are immutable) so a
+        # concurrent first call cannot race a half-built memo.
+        self._stage_sharing = self._compute_stage_sharing()
         self.contexts: list[RankContext] = [
             RankContext(
                 block,
@@ -149,6 +162,34 @@ class Engine:
         for id_c in range(self.grid.R):
             yield id_c, self.grid.col_group_ranks(id_c)
 
+    # ------------------------------------------------------------------
+    # rank execution (see repro.exec)
+    # ------------------------------------------------------------------
+    def map_ranks(self, fn, ranks: Optional[Sequence[int]] = None) -> list:
+        """Run ``fn(ctx)`` for every rank (or a subset) on the
+        configured executor; return the results in rank order.
+
+        This is the superstep fan-out: the closures may run
+        concurrently, so ``fn`` must touch only state owned by its rank
+        — the context's arrays, the rank's own :class:`VirtualClocks`
+        lane (``charge_edges``/``charge_vertices`` with ``ctx.rank``),
+        and per-rank slots of caller-held lists indexed by ``ctx.rank``.
+        Collectives must never run inside ``fn``; the call returns only
+        after every closure finished (the barrier before the
+        collective).  Under that contract the results — state, clocks,
+        and counters — are bit-identical to the serial loop.
+        """
+        contexts = (
+            self.contexts
+            if ranks is None
+            else [self.contexts[r] for r in ranks]
+        )
+        return self.executor.map(fn, contexts)
+
+    def foreach(self, fn, ranks: Optional[Sequence[int]] = None) -> None:
+        """:meth:`map_ranks` for in-place closures (results discarded)."""
+        self.map_ranks(fn, ranks=ranks)
+
     def stage_nic_sharing(self, axis: str) -> int:
         """NIC sharing when all groups of one axis communicate at once.
 
@@ -162,22 +203,19 @@ class Engine:
         """
         if axis not in ("row", "col"):
             raise ValueError(f"axis must be 'row' or 'col', got {axis!r}")
-        if not hasattr(self, "_stage_sharing"):
-            g = self.cluster.node.gpus_per_node
-            R = self.grid.R
-            sharing = {"row": 1, "col": 1}
-            for node in range(self.topology.n_nodes()):
-                members = [
-                    r for r in range(node * g, min((node + 1) * g, self.n_ranks))
-                ]
-                sharing["row"] = max(
-                    sharing["row"], len({r // R for r in members})
-                )
-                sharing["col"] = max(
-                    sharing["col"], len({r % R for r in members})
-                )
-            self._stage_sharing = sharing
         return self._stage_sharing[axis]
+
+    def _compute_stage_sharing(self) -> dict[str, int]:
+        g = self.cluster.node.gpus_per_node
+        R = self.grid.R
+        sharing = {"row": 1, "col": 1}
+        for node in range(self.topology.n_nodes()):
+            members = [
+                r for r in range(node * g, min((node + 1) * g, self.n_ranks))
+            ]
+            sharing["row"] = max(sharing["row"], len({r // R for r in members}))
+            sharing["col"] = max(sharing["col"], len({r % R for r in members}))
+        return sharing
 
     # ------------------------------------------------------------------
     # state helpers
@@ -280,10 +318,16 @@ class Engine:
     # timing
     # ------------------------------------------------------------------
     def reset_timers(self) -> None:
-        """Zero all clocks and counters (before a timed run)."""
-        self.counters = CommCounters()
-        self.clocks = VirtualClocks(self.n_ranks, counters=self.counters)
-        self.comm = Communicator(self.costmodel, self.clocks, self.counters)
+        """Zero all clocks and counters (before a timed run).
+
+        Resets **in place**: ``engine.counters``, ``engine.clocks``,
+        and ``engine.comm`` keep their identities, so a
+        :class:`~repro.core.trace.TraceRecorder` or any caller holding
+        a reference observes the reset instead of silently watching an
+        orphaned object.
+        """
+        self.counters.reset()
+        self.clocks.reset()
 
     def timing_report(self) -> TimingReport:
         snap = self.clocks.snapshot()

@@ -98,7 +98,7 @@ def run_vertex_program(engine: Engine, program: VertexProgram) -> AlgorithmResul
     part, grid = engine.partition, engine.grid
 
     # ---- initialize state over the full LID space ---------------------
-    for ctx in engine:
+    def init_state(ctx):
         lm = ctx.localmap
         state = ctx.alloc(program.name, np.float64)
         state[lm.row_slice] = program.init(
@@ -108,6 +108,8 @@ def run_vertex_program(engine: Engine, program: VertexProgram) -> AlgorithmResul
             part.original_gid(np.arange(lm.col_start, lm.col_stop))
         )
         engine.charge_vertices(ctx.rank, ctx.n_total)
+
+    engine.foreach(init_state)
 
     policy = SwitchPolicy(part.n_vertices, grid, mode=program.mode)
     all_rows = [ctx.row_lids() for ctx in engine]
@@ -127,23 +129,23 @@ def run_vertex_program(engine: Engine, program: VertexProgram) -> AlgorithmResul
             }
 
         # ---- local compute --------------------------------------------
-        queues: list[np.ndarray] = []
-        for ctx in engine:
+        def local_compute(ctx):
             state = ctx.get(program.name)
             rows = rows_per_rank[ctx.rank]
             degs = ctx.local_degrees()[rows - ctx.localmap.row_offset]
             engine.charge_edges(ctx.rank, degs)
             src, dst, w = ctx.expand(rows)
             if src.size == 0:
-                queues.append(np.empty(0, dtype=np.int64))
-                continue
+                return np.empty(0, dtype=np.int64)
             if program.direction == "push":
                 cand = program.along_edge(state[src], w)
                 targets = dst
             else:
                 cand = program.along_edge(state[dst], w)
                 targets = src
-            queues.append(scatter_reduce(state, targets, cand, program.op))
+            return scatter_reduce(state, targets, cand, program.op)
+
+        queues = engine.map_ranks(local_compute)
 
         # ---- exchange --------------------------------------------------
         if sparse_now:

@@ -1,0 +1,17 @@
+"""Rank-execution subsystem: serial or threaded per-rank supersteps."""
+
+from .executor import (
+    ENV_VAR,
+    RankExecutor,
+    SerialExecutor,
+    ThreadedExecutor,
+    resolve_executor,
+)
+
+__all__ = [
+    "ENV_VAR",
+    "RankExecutor",
+    "SerialExecutor",
+    "ThreadedExecutor",
+    "resolve_executor",
+]

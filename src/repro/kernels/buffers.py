@@ -10,7 +10,15 @@ collective has copied the payload out.
 The simulator's collectives always copy (``np.concatenate`` /
 ``np.empty``), so a send buffer never outlives its exchange; callers
 must still only ``give`` back buffers they obtained from ``take`` and
-stop using them afterwards.
+stop using them afterwards.  Returning the same backing array twice is
+detected and ignored (a double-give would otherwise let two later
+``take`` calls alias the same memory).
+
+A pool instance is **not** thread-safe: under the threaded rank
+executor every exchange draws from its rank's own pool
+(:meth:`repro.core.context.RankContext.scratch_pool`), and gives
+happen in the sequential collective phase — so pools never see
+concurrent calls.
 """
 
 from __future__ import annotations
@@ -29,6 +37,7 @@ class BufferPool:
     def __init__(self, dtype):
         self.dtype = np.dtype(dtype)
         self._free: list[np.ndarray] = []
+        self._free_ids: set[int] = set()
         self.hits = 0
         self.misses = 0
 
@@ -43,13 +52,21 @@ class BufferPool:
                 best = i
         if best >= 0:
             self.hits += 1
-            return self._free.pop(best)[:n]
+            base = self._free.pop(best)
+            self._free_ids.discard(id(base))
+            return base[:n]
         self.misses += 1
         capacity = max(16, 1 << max(0, int(n) - 1).bit_length())
         return np.empty(capacity, dtype=self.dtype)[:n]
 
     def give(self, *buffers: np.ndarray) -> None:
-        """Return buffers obtained from :meth:`take` to the pool."""
+        """Return buffers obtained from :meth:`take` to the pool.
+
+        A backing array already sitting in the pool is skipped: two
+        views of the same base given back twice (or in the same call)
+        must not make the base available to two future ``take``
+        calls, which would alias their payloads.
+        """
         for buf in buffers:
             base = buf.base if buf.base is not None else buf
             if (
@@ -57,8 +74,11 @@ class BufferPool:
                 and base.dtype == self.dtype
                 and base.ndim == 1
                 and len(self._free) < _MAX_POOLED
+                and id(base) not in self._free_ids
             ):
                 self._free.append(base)
+                self._free_ids.add(id(base))
 
     def clear(self) -> None:
         self._free.clear()
+        self._free_ids.clear()

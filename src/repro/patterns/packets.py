@@ -63,33 +63,41 @@ def packet_swap(engine: Engine, packets: list[np.ndarray]) -> list[np.ndarray]:
         if buf.size and (buf["dest"].min() < 0 or buf["dest"].max() >= grid.n_ranks):
             raise ValueError(f"rank {r}: packet dest out of range")
 
-    # Hop 1: along each row group, move packets to their destination
-    # block-column.
-    staged: list[np.ndarray] = [None] * grid.n_ranks  # type: ignore[list-item]
     row_share = engine.stage_nic_sharing("row")
     col_share = engine.stage_nic_sharing("col")
+
+    # Hop 1: along each row group, move packets to their destination
+    # block-column.  Splits are per-rank compute (parallel); the
+    # personalized exchanges stay sequential per group.
+    def split_cols(ctx) -> list[np.ndarray]:
+        buf = packets[ctx.rank]
+        dest_cols = (buf["dest"] % grid.R).astype(np.int64)
+        engine.charge_vertices(ctx.rank, buf.size)
+        return _split_by(buf, dest_cols, grid.R)
+
+    splits = engine.map_ranks(split_cols)
+    staged: list[np.ndarray] = [None] * grid.n_ranks  # type: ignore[list-item]
     for id_r, ranks in engine.row_groups():
-        send = []
-        for r in ranks:
-            buf = packets[r]
-            dest_cols = (buf["dest"] % grid.R).astype(np.int64)
-            send.append(_split_by(buf, dest_cols, grid.R))
-            engine.charge_vertices(r, buf.size)
-        received = engine.comm.alltoallv(ranks, send, nic_sharing=row_share)
+        received = engine.comm.alltoallv(
+            ranks, [splits[r] for r in ranks], nic_sharing=row_share
+        )
         for pos, r in enumerate(ranks):
             staged[r] = received[pos]
 
     # Hop 2: along each column group, move packets to their destination
     # block-row.
+    def split_rows(ctx) -> list[np.ndarray]:
+        buf = staged[ctx.rank]
+        dest_rows = (buf["dest"] // grid.R).astype(np.int64)
+        engine.charge_vertices(ctx.rank, buf.size)
+        return _split_by(buf, dest_rows, grid.C)
+
+    splits = engine.map_ranks(split_rows)
     delivered: list[np.ndarray] = [None] * grid.n_ranks  # type: ignore[list-item]
     for id_c, ranks in engine.col_groups():
-        send = []
-        for r in ranks:
-            buf = staged[r]
-            dest_rows = (buf["dest"] // grid.R).astype(np.int64)
-            send.append(_split_by(buf, dest_rows, grid.C))
-            engine.charge_vertices(r, buf.size)
-        received = engine.comm.alltoallv(ranks, send, nic_sharing=col_share)
+        received = engine.comm.alltoallv(
+            ranks, [splits[r] for r in ranks], nic_sharing=col_share
+        )
         for pos, r in enumerate(ranks):
             delivered[r] = received[pos]
     return delivered

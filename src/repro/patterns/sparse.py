@@ -21,6 +21,20 @@ locally-updated row vertices are unioned into the second-stage queue
 the CUDA code, but their values still must travel to the rest of the
 row group).
 
+Each stage runs in three phases shaped for the rank executor
+(:mod:`repro.exec`): a **parallel build** of every rank's send buffer
+(row and column groups each partition the rank set, so the per-rank
+builds touch disjoint state and clock lanes), the **sequential
+collectives** over the groups in order (they mutate shared counters
+and synchronize group clocks), and a **parallel apply** of each
+group's received buffer.  This is bit-identical to the historical
+fully-serial interleaving — see docs/PERF.md.
+
+Send buffers are recycled through each rank's own
+:meth:`~repro.core.context.RankContext.scratch_pool` (takes happen in
+the parallel build, gives in the sequential collective phase, so a
+pool never sees concurrent calls).
+
 The functions return a :class:`SparseResult` carrying the per-rank
 active row-vertex queues (paper §3.4.1) and the global count of
 vertices whose state changed — the quantity the dense/sparse switch
@@ -34,20 +48,19 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from ..core.context import RankContext
 from ..core.engine import Engine
-from ..kernels import BufferPool, scatter_reduce
+from ..kernels import scatter_reduce
 
 __all__ = ["PAIR_DTYPE", "SparseResult", "sparse_push", "sparse_pull", "propagate_active_pull"]
 
 #: One queue entry: {vertex GID, state value} (paper Alg. 4 lines 6-7).
 PAIR_DTYPE = np.dtype([("gid", np.int64), ("val", np.float64)])
 
-#: Recycled send buffers — the collectives copy the payload, so a pair
-#: buffer is dead the moment its allgatherv returns (see kernels.buffers).
-_PAIR_POOL = BufferPool(PAIR_DTYPE)
-
 #: Custom reduction hook: (state, lids, vals) -> unique changed lids.
 ReduceFn = Callable[[np.ndarray, np.ndarray, np.ndarray], np.ndarray]
+
+_EMPTY_I64 = np.empty(0, dtype=np.int64)
 
 
 @dataclass
@@ -58,11 +71,18 @@ class SparseResult:
     n_updated: int  # unique vertices whose state changed globally
 
 
-def _pairs(gids: np.ndarray, vals: np.ndarray) -> np.ndarray:
-    buf = _PAIR_POOL.take(gids.size)
+def _pairs(ctx: RankContext, gids: np.ndarray, vals: np.ndarray) -> np.ndarray:
+    """A ``{gid, val}`` send buffer from the rank's own scratch pool."""
+    buf = ctx.scratch_pool(PAIR_DTYPE).take(gids.size)
     buf["gid"] = gids
     buf["val"] = vals
     return buf
+
+
+def _give_back(engine: Engine, sbufs_all: list[np.ndarray], ranks: list[int]) -> None:
+    """Return the given ranks' send buffers to their own pools."""
+    for r in ranks:
+        engine.ctx(r).scratch_pool(PAIR_DTYPE).give(sbufs_all[r])
 
 
 def _apply_op(
@@ -104,61 +124,82 @@ def sparse_push(
         Reduction applied in ``ReduceQueue``; ``reduce_fn`` overrides
         ``op`` for complex reductions (paper §3.3.3).
     """
-    part, grid = engine.partition, engine.grid
-    row_queues_gids: dict[int, np.ndarray] = {}
+    grid = engine.grid
     col_share = engine.stage_nic_sharing("col")
     row_share = engine.stage_nic_sharing("row")
 
     # ---- stage 1: AllGatherv + reduce along each column group -------
+    def build_col(ctx: RankContext) -> np.ndarray:
+        q = np.asarray(queues[ctx.rank], dtype=np.int64)
+        engine.charge_vertices(ctx.rank, q.size)  # BuildQueue kernel
+        state = ctx.get(name)
+        return _pairs(ctx, ctx.localmap.col_gid(q), state[q])
+
+    sbufs_all = engine.map_ranks(build_col)
+
+    rbuf_of: list[Optional[np.ndarray]] = [None] * grid.n_ranks
     for id_c, ranks in engine.col_groups():
-        sbufs = []
+        rbuf = engine.comm.allgatherv(
+            ranks, [sbufs_all[r] for r in ranks], nic_sharing=col_share
+        )
+        _give_back(engine, sbufs_all, ranks)
         for r in ranks:
-            ctx = engine.ctx(r)
-            q = np.asarray(queues[r], dtype=np.int64)
-            engine.charge_vertices(r, q.size)  # BuildQueue kernel
-            state = ctx.get(name)
-            sbufs.append(_pairs(ctx.localmap.col_gid(q), state[q]))
-        rbuf = engine.comm.allgatherv(ranks, sbufs, nic_sharing=col_share)
-        _PAIR_POOL.give(*sbufs)
-        for r in ranks:
-            ctx = engine.ctx(r)
-            lm = ctx.localmap
-            state = ctx.get(name)
-            lids = lm.col_lid(rbuf["gid"])
-            changed = _apply_op(state, lids, rbuf["val"], op, reduce_fn)
-            engine.charge_vertices(r, rbuf.size)  # ReduceQueue kernel
-            # Row-stage queue: changed ghosts plus this rank's own local
-            # updates, restricted to row-owned vertices.
-            cand = np.concatenate(
-                [lm.col_gid(changed), lm.col_gid(np.asarray(queues[r], dtype=np.int64))]
-            )
-            row_queues_gids[r] = np.unique(cand[lm.owns_row_gid(cand)])
+            rbuf_of[r] = rbuf
+
+    def apply_col(ctx: RankContext) -> np.ndarray:
+        lm = ctx.localmap
+        state = ctx.get(name)
+        rbuf = rbuf_of[ctx.rank]
+        lids = lm.col_lid(rbuf["gid"])
+        changed = _apply_op(state, lids, rbuf["val"], op, reduce_fn)
+        engine.charge_vertices(ctx.rank, rbuf.size)  # ReduceQueue kernel
+        # Row-stage queue: changed ghosts plus this rank's own local
+        # updates, restricted to row-owned vertices.
+        cand = np.concatenate(
+            [
+                lm.col_gid(changed),
+                lm.col_gid(np.asarray(queues[ctx.rank], dtype=np.int64)),
+            ]
+        )
+        return np.unique(cand[lm.owns_row_gid(cand)])
+
+    row_queues_gids = engine.map_ranks(apply_col)
 
     # ---- stage 2: exchange final values along each row group --------
-    active_row: list[np.ndarray] = [np.empty(0, dtype=np.int64)] * grid.n_ranks
+    def build_row(ctx: RankContext) -> np.ndarray:
+        lm = ctx.localmap
+        gids = row_queues_gids[ctx.rank]
+        engine.charge_vertices(ctx.rank, gids.size)
+        state = ctx.get(name)
+        return _pairs(ctx, gids, state[lm.row_lid(gids)])
+
+    sbufs_all = engine.map_ranks(build_row)
+
+    rbuf_of = [None] * grid.n_ranks
+    uniq_of: list[Optional[np.ndarray]] = [None] * grid.n_ranks
     n_updated = 0
     for id_r, ranks in engine.row_groups():
-        sbufs = []
-        for r in ranks:
-            ctx = engine.ctx(r)
-            lm = ctx.localmap
-            gids = row_queues_gids.get(r, np.empty(0, dtype=np.int64))
-            engine.charge_vertices(r, gids.size)
-            state = ctx.get(name)
-            sbufs.append(_pairs(gids, state[lm.row_lid(gids)]))
-        rbuf = engine.comm.allgatherv(ranks, sbufs, nic_sharing=row_share)
-        _PAIR_POOL.give(*sbufs)
+        rbuf = engine.comm.allgatherv(
+            ranks, [sbufs_all[r] for r in ranks], nic_sharing=row_share
+        )
+        _give_back(engine, sbufs_all, ranks)
         uniq_gids = np.unique(rbuf["gid"])
         n_updated += int(uniq_gids.size)
         for r in ranks:
-            ctx = engine.ctx(r)
-            lm = ctx.localmap
-            state = ctx.get(name)
-            # Values are final after the column reduction; assignment
-            # (each vertex appears from exactly one root rank).
-            state[lm.row_lid(rbuf["gid"])] = rbuf["val"]
-            engine.charge_vertices(r, rbuf.size)
-            active_row[r] = lm.row_lid(uniq_gids)
+            rbuf_of[r] = rbuf
+            uniq_of[r] = uniq_gids
+
+    def apply_row(ctx: RankContext) -> np.ndarray:
+        lm = ctx.localmap
+        state = ctx.get(name)
+        rbuf = rbuf_of[ctx.rank]
+        # Values are final after the column reduction; assignment
+        # (each vertex appears from exactly one root rank).
+        state[lm.row_lid(rbuf["gid"])] = rbuf["val"]
+        engine.charge_vertices(ctx.rank, rbuf.size)
+        return lm.row_lid(uniq_of[ctx.rank])
+
+    active_row = engine.map_ranks(apply_row)
     return SparseResult(active_row=active_row, n_updated=n_updated)
 
 
@@ -174,65 +215,81 @@ def sparse_pull(
     ``queues`` hold per-rank *row-vertex LIDs* updated by the local
     (partial) gather kernel.
     """
-    part, grid = engine.partition, engine.grid
-    col_queues_gids: dict[int, np.ndarray] = {}
-    active_row: list[np.ndarray] = [np.empty(0, dtype=np.int64)] * grid.n_ranks
-    n_updated = 0
+    grid = engine.grid
     col_share = engine.stage_nic_sharing("col")
     row_share = engine.stage_nic_sharing("row")
 
     # ---- stage 1: AllGatherv + reduce along each row group ----------
+    def build_row(ctx: RankContext) -> np.ndarray:
+        q = np.asarray(queues[ctx.rank], dtype=np.int64)
+        engine.charge_vertices(ctx.rank, q.size)
+        state = ctx.get(name)
+        return _pairs(ctx, ctx.localmap.row_gid(q), state[q])
+
+    sbufs_all = engine.map_ranks(build_row)
+
+    rbuf_of: list[Optional[np.ndarray]] = [None] * grid.n_ranks
     for id_r, ranks in engine.row_groups():
-        sbufs = []
+        rbuf = engine.comm.allgatherv(
+            ranks, [sbufs_all[r] for r in ranks], nic_sharing=row_share
+        )
+        _give_back(engine, sbufs_all, ranks)
         for r in ranks:
-            ctx = engine.ctx(r)
-            q = np.asarray(queues[r], dtype=np.int64)
-            engine.charge_vertices(r, q.size)
-            state = ctx.get(name)
-            sbufs.append(_pairs(ctx.localmap.row_gid(q), state[q]))
-        rbuf = engine.comm.allgatherv(ranks, sbufs, nic_sharing=row_share)
-        _PAIR_POOL.give(*sbufs)
-        group_changed: Optional[np.ndarray] = None
-        for r in ranks:
-            ctx = engine.ctx(r)
-            lm = ctx.localmap
-            state = ctx.get(name)
-            lids = lm.row_lid(rbuf["gid"])
-            changed = _apply_op(state, lids, rbuf["val"], op, reduce_fn)
-            engine.charge_vertices(r, rbuf.size)
-            cand = np.unique(
-                np.concatenate(
-                    [
-                        lm.row_gid(changed),
-                        lm.row_gid(np.asarray(queues[r], dtype=np.int64)),
-                    ]
-                )
+            rbuf_of[r] = rbuf
+
+    def apply_row(ctx: RankContext) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        lm = ctx.localmap
+        state = ctx.get(name)
+        rbuf = rbuf_of[ctx.rank]
+        lids = lm.row_lid(rbuf["gid"])
+        changed = _apply_op(state, lids, rbuf["val"], op, reduce_fn)
+        engine.charge_vertices(ctx.rank, rbuf.size)
+        cand = np.unique(
+            np.concatenate(
+                [
+                    lm.row_gid(changed),
+                    lm.row_gid(np.asarray(queues[ctx.rank], dtype=np.int64)),
+                ]
             )
-            if group_changed is None:
-                group_changed = cand  # identical on every group member
-            col_queues_gids[r] = cand[lm.owns_col_gid(cand)]
-            active_row[r] = lm.row_lid(cand)
-        if group_changed is not None:
-            n_updated += int(group_changed.size)
+        )
+        return cand, cand[lm.owns_col_gid(cand)], lm.row_lid(cand)
+
+    applied = engine.map_ranks(apply_row)
+    col_queues_gids = [a[1] for a in applied]
+    active_row = [a[2] for a in applied]
+    # ``cand`` is identical on every member of a row group, so each
+    # group contributes its first member's count exactly once.
+    n_updated = 0
+    for id_r, ranks in engine.row_groups():
+        n_updated += int(applied[ranks[0]][0].size)
 
     # ---- stage 2: refresh ghosts along each column group ------------
+    def build_col(ctx: RankContext) -> np.ndarray:
+        lm = ctx.localmap
+        gids = col_queues_gids[ctx.rank]
+        engine.charge_vertices(ctx.rank, gids.size)
+        state = ctx.get(name)
+        return _pairs(ctx, gids, state[lm.row_lid(gids)])
+
+    sbufs_all = engine.map_ranks(build_col)
+
+    rbuf_of = [None] * grid.n_ranks
     for id_c, ranks in engine.col_groups():
-        sbufs = []
+        rbuf = engine.comm.allgatherv(
+            ranks, [sbufs_all[r] for r in ranks], nic_sharing=col_share
+        )
+        _give_back(engine, sbufs_all, ranks)
         for r in ranks:
-            ctx = engine.ctx(r)
-            lm = ctx.localmap
-            gids = col_queues_gids.get(r, np.empty(0, dtype=np.int64))
-            engine.charge_vertices(r, gids.size)
-            state = ctx.get(name)
-            sbufs.append(_pairs(gids, state[lm.row_lid(gids)]))
-        rbuf = engine.comm.allgatherv(ranks, sbufs, nic_sharing=col_share)
-        _PAIR_POOL.give(*sbufs)
-        for r in ranks:
-            ctx = engine.ctx(r)
-            lm = ctx.localmap
-            state = ctx.get(name)
-            state[lm.col_lid(rbuf["gid"])] = rbuf["val"]
-            engine.charge_vertices(r, rbuf.size)
+            rbuf_of[r] = rbuf
+
+    def apply_col(ctx: RankContext) -> None:
+        lm = ctx.localmap
+        state = ctx.get(name)
+        rbuf = rbuf_of[ctx.rank]
+        state[lm.col_lid(rbuf["gid"])] = rbuf["val"]
+        engine.charge_vertices(ctx.rank, rbuf.size)
+
+    engine.foreach(apply_col)
     return SparseResult(active_row=active_row, n_updated=n_updated)
 
 
@@ -250,37 +307,50 @@ def propagate_active_pull(
     row-group-consistent).
     """
     grid = engine.grid
+    col_share = engine.stage_nic_sharing("col")
+    row_share = engine.stage_nic_sharing("row")
 
     # Expand neighbors locally.
-    neighbor_gids: list[np.ndarray] = []
-    for ctx in engine:
+    def expand_neighbors(ctx: RankContext) -> np.ndarray:
         lids = np.asarray(updated_row[ctx.rank], dtype=np.int64)
         degs = ctx.local_degrees()[lids - ctx.localmap.row_offset]
         engine.charge_edges(ctx.rank, degs)
         _, dst, _ = ctx.expand(lids)
-        neighbor_gids.append(np.unique(ctx.localmap.col_gid(np.unique(dst))))
+        return np.unique(ctx.localmap.col_gid(np.unique(dst)))
+
+    neighbor_gids = engine.map_ranks(expand_neighbors)
 
     # Column stage: route neighbor GIDs to their row owners.
-    col_share = engine.stage_nic_sharing("col")
-    row_share = engine.stage_nic_sharing("row")
-    partial: dict[int, np.ndarray] = {}
+    rbuf_of: list[Optional[np.ndarray]] = [None] * grid.n_ranks
     for id_c, ranks in engine.col_groups():
-        sbufs = [neighbor_gids[r] for r in ranks]
-        rbuf = engine.comm.allgatherv(ranks, sbufs, nic_sharing=col_share)
+        rbuf = engine.comm.allgatherv(
+            ranks, [neighbor_gids[r] for r in ranks], nic_sharing=col_share
+        )
         for r in ranks:
-            lm = engine.ctx(r).localmap
-            mine = np.unique(rbuf[lm.owns_row_gid(rbuf)])
-            partial[r] = mine
-            engine.charge_vertices(r, rbuf.size)
+            rbuf_of[r] = rbuf
+
+    def keep_owned(ctx: RankContext) -> np.ndarray:
+        lm = ctx.localmap
+        rbuf = rbuf_of[ctx.rank]
+        engine.charge_vertices(ctx.rank, rbuf.size)
+        return np.unique(rbuf[lm.owns_row_gid(rbuf)])
+
+    partial = engine.map_ranks(keep_owned)
 
     # Row stage: union into a row-group-consistent active queue.
-    active: list[np.ndarray] = [np.empty(0, dtype=np.int64)] * grid.n_ranks
+    merged_of: list[Optional[np.ndarray]] = [None] * grid.n_ranks
+    rbuf_sizes = [0] * grid.n_ranks
     for id_r, ranks in engine.row_groups():
-        sbufs = [partial[r] for r in ranks]
-        rbuf = engine.comm.allgatherv(ranks, sbufs, nic_sharing=row_share)
+        rbuf = engine.comm.allgatherv(
+            ranks, [partial[r] for r in ranks], nic_sharing=row_share
+        )
         merged = np.unique(rbuf)
         for r in ranks:
-            lm = engine.ctx(r).localmap
-            active[r] = lm.row_lid(merged)
-            engine.charge_vertices(r, rbuf.size)
-    return active
+            merged_of[r] = merged
+            rbuf_sizes[r] = rbuf.size
+
+    def to_active(ctx: RankContext) -> np.ndarray:
+        engine.charge_vertices(ctx.rank, rbuf_sizes[ctx.rank])
+        return ctx.localmap.row_lid(merged_of[ctx.rank])
+
+    return engine.map_ranks(to_active)

@@ -87,3 +87,47 @@ def test_pool_roundtrip_contents_independent():
     b = pool.take(6)
     b[:] = 7
     assert (b == 7).all()
+
+
+class TestDoubleGive:
+    def test_double_give_is_ignored(self):
+        # Giving the same backing array twice must pool it once: two
+        # pooled copies would hand the same memory to two callers.
+        pool = BufferPool(np.int64)
+        a = pool.take(6)
+        pool.give(a)
+        pool.give(a)
+        assert len(pool._free) == 1
+        b = pool.take(6)
+        c = pool.take(6)
+        assert b.base is not c.base or (b.base is None and c.base is None)
+        b[:] = 1
+        c[:] = 2
+        assert (b == 1).all() and (c == 2).all()
+
+    def test_give_via_view_and_base(self):
+        pool = BufferPool(np.float64)
+        a = pool.take(8)
+        pool.give(a)
+        pool.give(a[:4])  # view over the same base: still one entry
+        assert len(pool._free) == 1
+
+    def test_clear_resets_identity_guard(self):
+        pool = BufferPool(np.float64)
+        a = pool.take(8)
+        pool.give(a)
+        pool.clear()
+        pool.give(a)  # legitimate again after clear
+        assert len(pool._free) == 1
+
+
+def test_context_scratch_pools_are_per_rank(rmat_graph=None):
+    from repro.core.engine import Engine
+    from repro.graph import rmat
+
+    e = Engine(rmat(7, seed=2), 4)
+    pools = [ctx.scratch_pool(np.float64) for ctx in e.contexts]
+    assert len({id(p) for p in pools}) == 4  # one pool per rank
+    # Same (rank, dtype) always resolves to the same pool.
+    assert e.contexts[0].scratch_pool(np.float64) is pools[0]
+    assert e.contexts[0].scratch_pool(np.int64) is not pools[0]
