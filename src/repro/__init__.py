@@ -6,7 +6,17 @@ Reproduces "Scaling Distributed Graph Processing to Hundreds of GPUs"
 and EXPERIMENTS.md for the paper-vs-measured record.
 """
 
-from . import algorithms, baselines, bench, cluster, comm, graph, patterns, queueing
+from . import (
+    algorithms,
+    baselines,
+    bench,
+    cluster,
+    comm,
+    faults,
+    graph,
+    patterns,
+    queueing,
+)
 from .core import (
     AlgorithmResult,
     Engine,
@@ -24,6 +34,7 @@ __all__ = [
     "bench",
     "cluster",
     "comm",
+    "faults",
     "graph",
     "patterns",
     "queueing",

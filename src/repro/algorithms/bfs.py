@@ -44,68 +44,99 @@ def bfs(
     alpha: float = ALPHA,
     beta: float = BETA,
     hybrid: bool = True,
+    resume: bool = False,
 ) -> AlgorithmResult:
     """BFS from ``root`` (original vertex id).
 
     Returns a parent array in original ids (root's parent is itself,
     ``-1`` marks unreachable vertices) plus levels in ``extra``.
     ``hybrid=False`` forces pure top-down (for ablations).
+    ``resume=True`` continues from the engine's latest attached
+    checkpoint instead of starting over (falling back to a fresh run
+    when there is none); see ``docs/ROBUSTNESS.md``.
     """
-    engine.reset_timers()
     part, grid = engine.partition, engine.grid
     n = part.n_vertices
     if not 0 <= root < n:
         raise ValueError(f"root {root} out of range")
     root_rel = int(part.perm[root])
 
-    compute_global_degrees(engine)
-    m_total = 0.0
+    st = engine.resume_from_checkpoint("bfs") if resume else None
+    if st is None:
+        engine.reset_timers()
+        compute_global_degrees(engine)
+        m_total = 0.0
 
-    def alloc_state(ctx):
-        ctx.alloc("parent", np.float64, fill=INF)
-        ctx.alloc("level", np.float64, fill=INF)
+        def alloc_state(ctx):
+            ctx.alloc("parent", np.float64, fill=INF)
+            ctx.alloc("level", np.float64, fill=INF)
 
-    engine.foreach(alloc_state)
-    # Global edge count (sum of global degrees over one row partition).
-    for id_r, ranks in engine.row_groups():
-        ctx0 = engine.ctx(ranks[0])
-        m_total += float(ctx0.get("deg")[ctx0.row_slice].sum())
+        engine.foreach(alloc_state)
+        # Global edge count (sum of global degrees over one row
+        # partition).
+        for id_r, ranks in engine.row_groups():
+            ctx0 = engine.ctx(ranks[0])
+            m_total += float(ctx0.get("deg")[ctx0.row_slice].sum())
 
-    # Seed the root everywhere it is visible.
-    def seed_root(ctx):
-        lm = ctx.localmap
-        parent = ctx.get("parent")
-        level = ctx.get("level")
-        lids = []
-        if lm.row_start <= root_rel < lm.row_stop:
-            lids.append(lm.row_lid(root_rel))
-        if lm.col_start <= root_rel < lm.col_stop:
-            lids.append(lm.col_lid(root_rel))
-        for lid in lids:
-            parent[lid] = root_rel
-            level[lid] = 0.0
-        deg = float(ctx.get("deg")[lids[0]]) if lids else None
-        entry = (
-            np.array([lm.row_lid(root_rel)], dtype=np.int64)
-            if lm.row_start <= root_rel < lm.row_stop
-            else np.empty(0, dtype=np.int64)
-        )
-        return entry, deg
+        # Seed the root everywhere it is visible.
+        def seed_root(ctx):
+            lm = ctx.localmap
+            parent = ctx.get("parent")
+            level = ctx.get("level")
+            lids = []
+            if lm.row_start <= root_rel < lm.row_stop:
+                lids.append(lm.row_lid(root_rel))
+            if lm.col_start <= root_rel < lm.col_stop:
+                lids.append(lm.col_lid(root_rel))
+            for lid in lids:
+                parent[lid] = root_rel
+                level[lid] = 0.0
+            deg = float(ctx.get("deg")[lids[0]]) if lids else None
+            entry = (
+                np.array([lm.row_lid(root_rel)], dtype=np.int64)
+                if lm.row_start <= root_rel < lm.row_stop
+                else np.empty(0, dtype=np.int64)
+            )
+            return entry, deg
 
-    seeded = engine.map_ranks(seed_root)
-    frontier: list[np.ndarray] = [entry for entry, _ in seeded]
-    # Every rank seeing the root reads the same global degree.
-    root_deg = next((d for _, d in seeded if d is not None), 0.0)
+        seeded = engine.map_ranks(seed_root)
+        frontier: list[np.ndarray] = [entry for entry, _ in seeded]
+        # Every rank seeing the root reads the same global degree.
+        root_deg = next((d for _, d in seeded if d is not None), 0.0)
 
-    n_visited = 1
-    m_frontier = root_deg
-    m_frontier_prev = 0.0
-    m_unvisited = m_total - root_deg
-    depth = 0
-    bottom_up = False
-    direction_log: list[str] = []
+        n_visited = 1
+        m_frontier = root_deg
+        m_frontier_prev = 0.0
+        m_unvisited = m_total - root_deg
+        depth = 0
+        bottom_up = False
+        done = False
+        direction_log: list[str] = []
+    else:
+        frontier = st["frontier"]
+        n_visited = st["n_visited"]
+        m_frontier = st["m_frontier"]
+        m_frontier_prev = st["m_frontier_prev"]
+        m_unvisited = st["m_unvisited"]
+        depth = st["depth"]
+        bottom_up = st["bottom_up"]
+        done = st["done"]
+        direction_log = st["direction_log"]
 
-    while True:
+    def _loop_state():
+        return {
+            "frontier": frontier,
+            "n_visited": n_visited,
+            "m_frontier": m_frontier,
+            "m_frontier_prev": m_frontier_prev,
+            "m_unvisited": m_unvisited,
+            "depth": depth,
+            "bottom_up": bottom_up,
+            "done": done,
+            "direction_log": direction_log,
+        }
+
+    while not done:
         depth += 1
         if hybrid:
             growing = m_frontier > m_frontier_prev
@@ -178,7 +209,8 @@ def bfs(
             engine.comm.allreduce(list(range(grid.n_ranks)), flags, op="max")
 
         if n_updated == 0:
-            engine.clocks.mark_iteration()
+            done = True
+            engine.superstep_boundary("bfs", _loop_state())
             break
 
         # Record levels of freshly visited vertices and build the next
@@ -205,9 +237,8 @@ def bfs(
         frontier = new_frontier
         n_visited += n_updated
         m_unvisited -= m_frontier
-        engine.clocks.mark_iteration()
-        if n_visited >= n:
-            break
+        done = n_visited >= n
+        engine.superstep_boundary("bfs", _loop_state())
 
     parents_rel = engine.gather("parent")
     levels = engine.gather("level")

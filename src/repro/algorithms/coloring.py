@@ -218,7 +218,7 @@ def greedy_coloring(
 
         engine.foreach(apply_refresh)
 
-        engine.clocks.mark_iteration()
+        engine.superstep_boundary("coloring")
         if n_colored == 0:
             break
         if max_rounds is not None and rounds >= max_rounds:

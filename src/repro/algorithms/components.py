@@ -102,6 +102,7 @@ def connected_components(
     use_queue: bool = True,
     max_iterations: Optional[int] = None,
     switch_threshold_factor: float = 1.0,
+    resume: bool = False,
 ) -> AlgorithmResult:
     """Run color-propagation CC to convergence.
 
@@ -119,26 +120,39 @@ def connected_components(
     switch_threshold_factor:
         Scales the ``N / max(R, C)`` dense-to-sparse cutoff (1.0 =
         paper setting; exposed for the ablation bench).
+    resume:
+        Continue from the engine's latest attached checkpoint instead
+        of starting over (falls back to a fresh run when there is
+        none); see ``docs/ROBUSTNESS.md``.
 
     Returns component labels (original GIDs of the winning
     representatives) in original vertex order.
     """
     if direction not in ("push", "pull"):
         raise ValueError(f"direction must be 'push' or 'pull', got {direction!r}")
-    engine.reset_timers()
     part, grid = engine.partition, engine.grid
-    _init_labels(engine)
-    policy = SwitchPolicy(
-        part.n_vertices,
-        grid,
-        mode=mode,
-        threshold_factor=switch_threshold_factor,
-    )
-
     all_rows = [ctx.row_lids() for ctx in engine]
-    active = list(all_rows)
-    iteration = 0
-    while True:
+
+    st = engine.resume_from_checkpoint("cc") if resume else None
+    if st is None:
+        engine.reset_timers()
+        _init_labels(engine)
+        policy = SwitchPolicy(
+            part.n_vertices,
+            grid,
+            mode=mode,
+            threshold_factor=switch_threshold_factor,
+        )
+        active = list(all_rows)
+        iteration = 0
+        done = False
+    else:
+        policy = st["policy"]
+        active = st["active"]
+        iteration = st["iteration"]
+        done = st["done"]
+
+    while not done:
         iteration += 1
         rows = active if use_queue else all_rows
         sparse_now = policy.use_sparse
@@ -193,11 +207,18 @@ def connected_components(
                     active = propagate_active_pull(engine, updated)
 
         policy.observe(n_updated)
-        engine.clocks.mark_iteration()
-        if n_updated == 0:
-            break
-        if max_iterations is not None and iteration >= max_iterations:
-            break
+        done = n_updated == 0 or (
+            max_iterations is not None and iteration >= max_iterations
+        )
+        engine.superstep_boundary(
+            "cc",
+            {
+                "policy": policy,
+                "active": active,
+                "iteration": iteration,
+                "done": done,
+            },
+        )
 
     labels_relabeled = engine.gather(_STATE).astype(np.int64)
     values = part.original_gid(labels_relabeled)

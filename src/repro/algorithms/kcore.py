@@ -156,7 +156,7 @@ def core_numbers(
 
         # ---- next active queue = neighbors of changed vertices --------
         active = propagate_active_pull(engine, changed_rows)
-        engine.clocks.mark_iteration()
+        engine.superstep_boundary("kcore")
         if n_changed == 0:
             break
         if max_iterations is not None and iterations >= max_iterations:

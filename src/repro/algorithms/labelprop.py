@@ -72,21 +72,31 @@ def label_propagation(
     engine: Engine,
     iterations: int = 20,
     use_queue: bool = True,
+    resume: bool = False,
 ) -> AlgorithmResult:
     """Run up to ``iterations`` synchronous LP steps (paper: 20).
 
     Stops early once no label changes.  Returns labels in original
-    vertex order, identical to the serial reference.
+    vertex order, identical to the serial reference.  ``resume=True``
+    continues from the engine's latest attached checkpoint (see
+    ``docs/ROBUSTNESS.md``).
     """
-    engine.reset_timers()
     part, grid = engine.partition, engine.grid
-    _init_labels(engine)
-
     all_rows = [ctx.row_lids() for ctx in engine]
-    active = list(all_rows)
-    iterations_run = 0
 
-    for _ in range(iterations):
+    st = engine.resume_from_checkpoint("lp") if resume else None
+    if st is None:
+        engine.reset_timers()
+        _init_labels(engine)
+        active = list(all_rows)
+        iterations_run = 0
+        done = False
+    else:
+        active = st["active"]
+        iterations_run = st["iterations_run"]
+        done = st["done"]
+
+    while iterations_run < iterations and not done:
         iterations_run += 1
         rows_per_rank = active if use_queue else all_rows
 
@@ -183,9 +193,11 @@ def label_propagation(
         # ---- phase 4: next active queue = neighbors of changes -------
         if use_queue:
             active = propagate_active_pull(engine, changed_rows)
-        engine.clocks.mark_iteration()
-        if n_changed == 0:
-            break
+        done = n_changed == 0
+        engine.superstep_boundary(
+            "lp",
+            {"active": active, "iterations_run": iterations_run, "done": done},
+        )
 
     values = engine.gather(_STATE).astype(np.int64)
     return AlgorithmResult(

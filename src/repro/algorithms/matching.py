@@ -179,7 +179,7 @@ def max_weight_matching(
         queues = engine.map_ranks(mutual_pairs)
         result = sparse_push(engine, "mate", queues, op="max")
         total_matched += result.n_updated
-        engine.clocks.mark_iteration()
+        engine.superstep_boundary("mwm")
         if result.n_updated == 0:
             break
         if max_rounds is not None and rounds >= max_rounds:

@@ -75,6 +75,7 @@ def pagerank(
     personalization: Optional[np.ndarray] = None,
     weighted: bool = False,
     tol: Optional[float] = None,
+    resume: bool = False,
 ) -> AlgorithmResult:
     """Run synchronous PageRank (paper default: 20 fixed iterations).
 
@@ -90,11 +91,14 @@ def pagerank(
         Optional early stop once ``max |delta pr| < tol`` (checked with
         a one-word MAX AllReduce each iteration); ``iterations``
         remains the hard bound.
+    resume:
+        Continue from the engine's latest attached checkpoint instead
+        of starting over (falls back to a fresh run when there is
+        none); see ``docs/ROBUSTNESS.md``.
 
     Returns the PageRank vector in original vertex order; it matches
     the serial reference to floating-point roundoff.
     """
-    engine.reset_timers()
     n = engine.partition.n_vertices
     grid = engine.grid
     all_ranks = list(range(grid.n_ranks))
@@ -105,22 +109,33 @@ def pagerank(
             raise ValueError(f"personalization must have shape ({n},)")
         if personalization.min() < 0 or personalization.sum() <= 0:
             raise ValueError("personalization must be non-negative and non-zero")
-        teleport_global = personalization / personalization.sum()
-        engine.scatter_global("tele", teleport_global)
-    compute_global_degrees(engine, weighted=weighted)
 
-    def alloc_state(ctx):
-        ctx.alloc("pr", np.float64, fill=1.0 / n)
-        ctx.alloc("acc", np.float64)
+    st = engine.resume_from_checkpoint("pagerank") if resume else None
+    if st is None:
+        engine.reset_timers()
+        if personalization is not None:
+            teleport_global = personalization / personalization.sum()
+            engine.scatter_global("tele", teleport_global)
+        compute_global_degrees(engine, weighted=weighted)
 
-    engine.foreach(alloc_state)
+        def alloc_state(ctx):
+            ctx.alloc("pr", np.float64, fill=1.0 / n)
+            ctx.alloc("acc", np.float64)
 
-    iterations_run = 0
+        engine.foreach(alloc_state)
+        iterations_run = 0
+        done = False
+    else:
+        iterations_run = st["iterations_run"]
+        done = st["done"]
+
     # deg is static after compute_global_degrees, so the per-edge degree
     # gather (and its zero mask) is iteration-invariant — cache it
-    # (per-rank slots; each closure touches only its own).
+    # (per-rank slots; each closure touches only its own).  Rebuilt from
+    # the (restored) deg state on resume, so it never needs
+    # checkpointing.
     deg_dst: list[Optional[tuple[np.ndarray, np.ndarray]]] = [None] * grid.n_ranks
-    for _ in range(iterations):
+    while iterations_run < iterations and not done:
         iterations_run += 1
 
         # Local partial gathers.
@@ -183,9 +198,11 @@ def pagerank(
         if tol is not None:
             flags = [np.array([max_delta]) for _ in all_ranks]
             engine.comm.allreduce(all_ranks, flags, op="max")
-        engine.clocks.mark_iteration()
         if tol is not None and max_delta < tol:
-            break
+            done = True
+        engine.superstep_boundary(
+            "pagerank", {"iterations_run": iterations_run, "done": done}
+        )
 
     values = engine.gather("pr")
     return AlgorithmResult(

@@ -60,16 +60,34 @@ def _home_ranks(engine: Engine, gids: np.ndarray) -> np.ndarray:
     return id_r * grid.R + id_c
 
 
-def pointer_jumping(engine: Engine, max_iterations: int | None = None) -> AlgorithmResult:
+def pointer_jumping(
+    engine: Engine,
+    max_iterations: int | None = None,
+    resume: bool = False,
+) -> AlgorithmResult:
     """Find the forest root of every vertex.
 
     Returns roots in original vertex order, equal to serially chasing
-    :func:`initial_parents` on the input graph.
+    :func:`initial_parents` on the input graph.  ``resume=True``
+    continues from the engine's latest attached checkpoint (see
+    ``docs/ROBUSTNESS.md``).
     """
-    engine.reset_timers()
     part, grid = engine.partition, engine.grid
     n = part.n_vertices
     all_ranks = list(range(grid.n_ranks))
+
+    st = engine.resume_from_checkpoint("pj") if resume else None
+    if st is not None:
+        return _pointer_jumping_loop(
+            engine,
+            max_iterations,
+            home_gids=st["home_gids"],
+            home_parent=st["home_parent"],
+            converged=st["converged"],
+            iterations=st["iterations"],
+            done=st["done"],
+        )
+    engine.reset_timers()
 
     # ---- build the initial forest (min-neighbor rule, by orig id) ----
     # Per-rank local minima of neighbor *original* ids, merged along row
@@ -130,8 +148,31 @@ def pointer_jumping(engine: Engine, max_iterations: int | None = None) -> Algori
     converged: dict[int, np.ndarray] = {
         r: home_gids[r] == home_parent[r] for r in all_ranks
     }
-    iterations = 0
-    while True:
+    return _pointer_jumping_loop(
+        engine,
+        max_iterations,
+        home_gids=home_gids,
+        home_parent=home_parent,
+        converged=converged,
+        iterations=0,
+        done=False,
+    )
+
+
+def _pointer_jumping_loop(
+    engine: Engine,
+    max_iterations: int | None,
+    home_gids: dict[int, np.ndarray],
+    home_parent: dict[int, np.ndarray],
+    converged: dict[int, np.ndarray],
+    iterations: int,
+    done: bool,
+) -> AlgorithmResult:
+    """The jump loop plus final gather, entered fresh or from a resumed
+    checkpoint (the home-slice dicts are the loop state)."""
+    part, grid = engine.partition, engine.grid
+    all_ranks = list(range(grid.n_ranks))
+    while not done:
         iterations += 1
         def build_queries(ctx):
             r = ctx.rank
@@ -191,11 +232,19 @@ def pointer_jumping(engine: Engine, max_iterations: int | None = None) -> Algori
         # Global convergence check (one-word AllReduce).
         flags = [np.array([float(n_changed)]) for _ in all_ranks]
         engine.comm.allreduce(all_ranks, flags, op="max")
-        engine.clocks.mark_iteration()
-        if n_changed == 0:
-            break
-        if max_iterations is not None and iterations >= max_iterations:
-            break
+        done = n_changed == 0 or (
+            max_iterations is not None and iterations >= max_iterations
+        )
+        engine.superstep_boundary(
+            "pj",
+            {
+                "home_gids": home_gids,
+                "home_parent": home_parent,
+                "converged": converged,
+                "iterations": iterations,
+                "done": done,
+            },
+        )
 
     # ---- sync authoritative slices across row groups, then gather ----
     def build_final(ctx):

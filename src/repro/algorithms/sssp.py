@@ -25,13 +25,18 @@ INF = np.inf
 
 
 def sssp(
-    engine: Engine, root: int, max_iterations: int | None = None
+    engine: Engine,
+    root: int,
+    max_iterations: int | None = None,
+    resume: bool = False,
 ) -> AlgorithmResult:
     """Shortest path distance from ``root`` to every vertex.
 
     Requires non-negative edge weights.  Returns distances in original
     vertex order (``inf`` for unreachable vertices), exactly equal to a
-    serial Bellman-Ford / Dijkstra result.
+    serial Bellman-Ford / Dijkstra result.  ``resume=True`` continues
+    from the engine's latest attached checkpoint (see
+    ``docs/ROBUSTNESS.md``).
     """
     part, grid = engine.partition, engine.grid
     if not part.weighted:
@@ -39,27 +44,35 @@ def sssp(
     n = part.n_vertices
     if not 0 <= root < n:
         raise ValueError(f"root {root} out of range")
-    engine.reset_timers()
     root_rel = int(part.perm[root])
 
-    def seed_root(ctx):
-        lm = ctx.localmap
-        dist = ctx.alloc("dist", np.float64, fill=INF)
-        if lm.row_start <= root_rel < lm.row_stop:
-            dist[lm.row_lid(root_rel)] = 0.0
-        if lm.col_start <= root_rel < lm.col_stop:
-            dist[lm.col_lid(root_rel)] = 0.0
-        engine.charge_vertices(ctx.rank, ctx.n_total)
-        return (
-            np.array([lm.row_lid(root_rel)], dtype=np.int64)
-            if lm.row_start <= root_rel < lm.row_stop
-            else np.empty(0, dtype=np.int64)
-        )
+    st = engine.resume_from_checkpoint("sssp") if resume else None
+    if st is None:
+        engine.reset_timers()
 
-    frontier = engine.map_ranks(seed_root)
+        def seed_root(ctx):
+            lm = ctx.localmap
+            dist = ctx.alloc("dist", np.float64, fill=INF)
+            if lm.row_start <= root_rel < lm.row_stop:
+                dist[lm.row_lid(root_rel)] = 0.0
+            if lm.col_start <= root_rel < lm.col_stop:
+                dist[lm.col_lid(root_rel)] = 0.0
+            engine.charge_vertices(ctx.rank, ctx.n_total)
+            return (
+                np.array([lm.row_lid(root_rel)], dtype=np.int64)
+                if lm.row_start <= root_rel < lm.row_stop
+                else np.empty(0, dtype=np.int64)
+            )
 
-    iterations = 0
-    while True:
+        frontier = engine.map_ranks(seed_root)
+        iterations = 0
+        done = False
+    else:
+        frontier = st["frontier"]
+        iterations = st["iterations"]
+        done = st["done"]
+
+    while not done:
         iterations += 1
 
         def relax(ctx):
@@ -76,11 +89,13 @@ def sssp(
         queues = engine.map_ranks(relax)
         result = sparse_push(engine, "dist", queues, op="min")
         frontier = result.active_row
-        engine.clocks.mark_iteration()
-        if result.n_updated == 0:
-            break
-        if max_iterations is not None and iterations >= max_iterations:
-            break
+        done = result.n_updated == 0 or (
+            max_iterations is not None and iterations >= max_iterations
+        )
+        engine.superstep_boundary(
+            "sssp",
+            {"frontier": frontier, "iterations": iterations, "done": done},
+        )
 
     values = engine.gather("dist")
     reached = np.isfinite(values)

@@ -111,7 +111,7 @@ def triangle_count(engine: Engine) -> AlgorithmResult:
             )
 
         engine.foreach(multiply_accumulate)
-        engine.clocks.mark_iteration()
+        engine.superstep_boundary("tc")
 
     # Combine partial counts.
     bufs = [np.array([partial[r]]) for r in all_ranks]

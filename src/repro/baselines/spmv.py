@@ -131,7 +131,7 @@ def spmv_pagerank(
             _charge_spmv(engine, ctx.rank, 0, ctx.n_total)
 
         engine.foreach(damping_update)
-        engine.clocks.mark_iteration()
+        engine.superstep_boundary("spmv")
 
     return AlgorithmResult(
         values=engine.gather("pr"),
@@ -177,7 +177,7 @@ def spmv_cc(engine: Engine, max_iterations: int | None = None) -> AlgorithmResul
             n_changed += int(np.count_nonzero(now != snapshots[id_r]))
         flags = [np.array([float(n_changed)]) for _ in all_ranks]
         engine.comm.allreduce(all_ranks, flags, op="max")
-        engine.clocks.mark_iteration()
+        engine.superstep_boundary("spmv")
         if n_changed == 0:
             break
         if max_iterations is not None and iterations >= max_iterations:
@@ -254,7 +254,7 @@ def spmv_bfs(engine: Engine, root: int) -> AlgorithmResult:
             )
         flags = [np.array([float(n_new)]) for _ in all_ranks]
         engine.comm.allreduce(all_ranks, flags, op="max")
-        engine.clocks.mark_iteration()
+        engine.superstep_boundary("spmv")
         if n_new == 0:
             break
 

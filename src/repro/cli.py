@@ -29,6 +29,16 @@ Commands
 
         python -m repro perf --scale 14 --ranks 16 --out BENCH_simulator.json
 
+``faults``
+    Run the fault-injection scenario campaign (crash/recovery,
+    transient retries, bit-flip detection, stragglers) and report
+    whether every faulted run recovered to the fault-free answer::
+
+        python -m repro faults --dataset FR --ranks 4
+        python -m repro faults --scenario crash-recover --algos BFS,PR
+
+    Exits nonzero when any scenario ends unrecovered or diverged.
+
 ``info``
     Show the registered datasets, machines, and algorithms.
 """
@@ -176,6 +186,67 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    import json
+
+    from .faults.scenarios import (
+        DEFAULT_SCENARIOS,
+        RUNNERS,
+        SCENARIOS,
+        run_campaign,
+    )
+
+    algos = [a.strip().upper() for a in args.algos.split(",")]
+    for algo in algos:
+        if algo not in RUNNERS:
+            print(f"unknown algorithm {algo!r}; choose from {sorted(RUNNERS)}")
+            return 2
+    scenarios = (
+        list(DEFAULT_SCENARIOS) if args.scenario == "all" else [args.scenario]
+    )
+    ds = load(args.dataset, target_edges=args.target_edges, seed=args.seed)
+    print(ds.note)
+
+    def fresh_engine():
+        return make_engine(
+            ds,
+            args.ranks,
+            cluster=_CLUSTERS[args.cluster],
+            executor=args.executor,
+        )
+
+    report = run_campaign(
+        fresh_engine,
+        algos=algos,
+        scenarios=scenarios,
+        checkpoint_interval=args.checkpoint_interval,
+        max_retries=args.max_retries,
+    )
+    header = (
+        f"{'scenario':>18} {'algo':>5} {'status':>12} {'values':>7} "
+        f"{'clocks':>7} {'events':>7} {'recovery[s]':>12}"
+    )
+    print(header)
+    print("-" * len(header))
+    for c in report["cases"]:
+        print(
+            f"{c['scenario']:>18} {c['algo']:>5} {c['status']:>12} "
+            f"{str(c['values_equal']):>7} {str(c['clocks_equal']):>7} "
+            f"{c['n_fault_events']:>7} {c['recovery_s']:>12.3e}"
+        )
+    print()
+    print(
+        f"{report['total']} cases: {report['total'] - report['failed']} ok, "
+        f"{report['failed']} failed ({report['unrecovered']} unrecovered)"
+    )
+    if args.out:
+        out = pathlib.Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(report, indent=2))
+        print(f"wrote {out}")
+    return 1 if report["failed"] else 0
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     del args
     from .graph.datasets import REGISTRY
@@ -271,6 +342,40 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: the REPRO_EXECUTOR environment variable, else serial)",
     )
     perf.set_defaults(func=_cmd_perf)
+
+    faults = sub.add_parser(
+        "faults", help="fault-injection scenario campaign with recovery checks"
+    )
+    from .faults.scenarios import RUNNERS as _FAULT_RUNNERS
+    from .faults.scenarios import SCENARIOS as _FAULT_SCENARIOS
+
+    faults.add_argument(
+        "--scenario", default="all",
+        choices=["all"] + sorted(_FAULT_SCENARIOS),
+        help="one scenario, or 'all' for the default campaign "
+             "(excludes the deliberately-failing crash-unrecovered)",
+    )
+    faults.add_argument(
+        "--algos", default=",".join(sorted(_FAULT_RUNNERS)),
+        help="comma-separated algorithms (resume-capable: "
+             + ", ".join(sorted(_FAULT_RUNNERS)) + ")",
+    )
+    faults.add_argument("--dataset", default="FR")
+    faults.add_argument("--ranks", type=int, default=4)
+    faults.add_argument("--cluster", choices=sorted(_CLUSTERS), default="aimos")
+    faults.add_argument("--target-edges", type=int, default=1 << 12)
+    faults.add_argument("--seed", type=int, default=0)
+    faults.add_argument("--checkpoint-interval", type=int, default=1)
+    faults.add_argument("--max-retries", type=int, default=4)
+    faults.add_argument(
+        "--executor", default=None, metavar="SPEC",
+        help="rank executor: 'serial', 'threads', or 'threads:N'",
+    )
+    faults.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="also write the JSON campaign report here",
+    )
+    faults.set_defaults(func=_cmd_faults)
 
     info = sub.add_parser("info", help="list datasets, machines, algorithms")
     info.set_defaults(func=_cmd_info)

@@ -57,6 +57,11 @@ class VirtualClocks:
         self.clock = np.zeros(n_ranks)
         self.compute = np.zeros(n_ranks)
         self.comm = np.zeros(n_ranks)
+        # Recovery lane: time spent on fault handling (straggler stalls,
+        # retry backoff).  Always a subset annotation — stall seconds
+        # land in the total only, retry seconds in comm as well — so
+        # fault-free runs keep it at exactly zero.
+        self.recovery = np.zeros(n_ranks)
         self.iteration_marks: list[PhaseTimes] = []
         self.counter_marks: list["CounterSnapshot"] = []
 
@@ -85,6 +90,37 @@ class VirtualClocks:
         self.clock[idx] = t
         self.comm[idx] += seconds
 
+    def add_stall(self, rank: int, seconds: float) -> None:
+        """Idle one rank for ``seconds`` (an injected straggler delay).
+
+        Stall time advances the rank's clock — so it gates the next
+        collective the rank participates in, exactly like a real
+        straggler — but is attributed to neither compute nor comm; the
+        ``recovery`` lane records it so fault reports can expose it.
+        """
+        if seconds < 0:
+            raise ValueError(f"negative stall time {seconds}")
+        self.clock[rank] += seconds
+        self.recovery[rank] += seconds
+
+    def charge_recovery(self, ranks: Sequence[int], seconds: float) -> None:
+        """Charge fault-recovery time (retry backoff, retransmits) to a
+        group.
+
+        Semantically a failed collective attempt: the group
+        synchronizes, burns ``seconds`` together, and the cost counts
+        as communication time (it occupies the fabric) *and* is
+        mirrored into the ``recovery`` lane so timing reports can show
+        how much of the comm share was recovery overhead.
+        """
+        if seconds < 0:
+            raise ValueError(f"negative recovery time {seconds}")
+        idx = np.fromiter(ranks, dtype=np.int64)
+        t = float(self.clock[idx].max()) + seconds
+        self.clock[idx] = t
+        self.comm[idx] += seconds
+        self.recovery[idx] += seconds
+
     def reset(self) -> None:
         """Zero all clocks and drop marks, preserving identity.
 
@@ -94,6 +130,7 @@ class VirtualClocks:
         self.clock[:] = 0.0
         self.compute[:] = 0.0
         self.comm[:] = 0.0
+        self.recovery[:] = 0.0
         self.iteration_marks.clear()
         self.counter_marks.clear()
 
@@ -138,3 +175,45 @@ class VirtualClocks:
     @property
     def elapsed(self) -> float:
         return float(self.clock.max())
+
+    @property
+    def recovery_total(self) -> float:
+        """Max-over-ranks recovery time (0.0 in fault-free runs)."""
+        return float(self.recovery.max())
+
+    # ------------------------------------------------------------------
+    # checkpoint support
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Plain-data snapshot of the full clock state.
+
+        Everything is copied and picklable (marks flatten to tuples,
+        counter snapshots to nested dicts), so checkpoints can go to
+        disk; :meth:`load_state` restores bit-identically.
+        """
+        return {
+            "clock": self.clock.copy(),
+            "compute": self.compute.copy(),
+            "comm": self.comm.copy(),
+            "recovery": self.recovery.copy(),
+            "iteration_marks": [
+                (m.total, m.compute, m.comm) for m in self.iteration_marks
+            ],
+            "counter_marks": [c.as_state() for c in self.counter_marks],
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot in place (identity is
+        preserved, as in :meth:`reset`)."""
+        from .counters import CounterSnapshot
+
+        self.clock[:] = state["clock"]
+        self.compute[:] = state["compute"]
+        self.comm[:] = state["comm"]
+        self.recovery[:] = state["recovery"]
+        self.iteration_marks[:] = [
+            PhaseTimes(*t) for t in state["iteration_marks"]
+        ]
+        self.counter_marks[:] = [
+            CounterSnapshot.from_state(s) for s in state["counter_marks"]
+        ]

@@ -63,10 +63,58 @@ class Communicator:
     # helpers
     # ------------------------------------------------------------------
     @staticmethod
-    def _check_group(ranks: Sequence[int], buffers: Sequence[np.ndarray]) -> None:
+    def _check_group(
+        ranks: Sequence[int],
+        buffers: Sequence[np.ndarray],
+        uniform: bool = False,
+    ) -> None:
+        """Validate a collective's group, loudly and precisely.
+
+        Always checks the rank/buffer pairing; with ``uniform=True``
+        (element-wise reductions) additionally requires every buffer to
+        share the first buffer's shape and dtype, and names the
+        offending ranks when they don't — a shape/dtype skew would
+        otherwise surface as an inscrutable ``np.stack`` error.
+        """
         if len(ranks) != len(buffers):
             raise ValueError(
-                f"{len(ranks)} ranks but {len(buffers)} buffers supplied"
+                f"collective group mismatch: {len(ranks)} ranks "
+                f"{list(ranks)} but {len(buffers)} buffers supplied"
+            )
+        if uniform and len(buffers) > 1:
+            ref = np.asarray(buffers[0])
+            offenders = [
+                f"rank {r}: shape {a.shape}, dtype {a.dtype}"
+                for r, b in zip(ranks, buffers)
+                if (a := np.asarray(b)).shape != ref.shape or a.dtype != ref.dtype
+            ]
+            if offenders:
+                raise ValueError(
+                    "collective buffers disagree with rank "
+                    f"{ranks[0]} (shape {ref.shape}, dtype {ref.dtype}): "
+                    + "; ".join(offenders)
+                )
+
+    @staticmethod
+    def _check_dtypes(ranks: Sequence[int], buffers: Sequence[np.ndarray]) -> None:
+        """Require one dtype across variable-size send buffers.
+
+        A skewed dtype would silently promote through
+        ``np.concatenate`` and corrupt structured consumers; fail
+        instead, naming the offending ranks.
+        """
+        if len(buffers) < 2:
+            return
+        ref = np.asarray(buffers[0]).dtype
+        offenders = [
+            f"rank {r}: dtype {a.dtype}"
+            for r, b in zip(ranks, buffers)
+            if (a := np.asarray(b)).dtype != ref
+        ]
+        if offenders:
+            raise ValueError(
+                f"variable-size collective needs one dtype, but rank "
+                f"{ranks[0]} sends {ref} while " + "; ".join(offenders)
             )
 
     # ------------------------------------------------------------------
@@ -81,7 +129,7 @@ class Communicator:
     ) -> None:
         """In-place AllReduce: every buffer ends up holding the
         element-wise reduction of all of them."""
-        self._check_group(ranks, buffers)
+        self._check_group(ranks, buffers, uniform=True)
         if op not in REDUCE_OPS:
             raise ValueError(f"unknown op {op!r}; choose from {sorted(REDUCE_OPS)}")
         k = len(ranks)
@@ -170,6 +218,7 @@ class Communicator:
         rank, so a single shared copy is returned).
         """
         self._check_group(ranks, send_buffers)
+        self._check_dtypes(ranks, send_buffers)
         k = len(ranks)
         arrays = [np.asarray(b) for b in send_buffers]
         # Preserve the send-buffer dtype even when every buffer is empty
@@ -216,7 +265,13 @@ class Communicator:
         """
         k = len(ranks)
         if len(send_matrix) != k or any(len(row) != k for row in send_matrix):
-            raise ValueError("send_matrix must be k x k")
+            shape = f"{len(send_matrix)} x {[len(row) for row in send_matrix]}"
+            raise ValueError(
+                f"send_matrix must be {k} x {k} for group {list(ranks)}; "
+                f"got {shape}"
+            )
+        for row in send_matrix:
+            self._check_dtypes(ranks, row)
         received: list[np.ndarray] = []
         max_pair = 0
         total = 0

@@ -121,6 +121,24 @@ class CounterSnapshot:
     def calls_by_kind(self) -> dict[str, int]:
         return {kind: s.calls for kind, s in sorted(self.by_kind.items())}
 
+    # ------------------------------------------------------------------
+    # checkpoint support (plain, picklable data — MappingProxyType is
+    # not picklable, so snapshots flatten to nested dicts on the way to
+    # a checkpoint and rebuild exactly on the way back)
+    # ------------------------------------------------------------------
+    def as_state(self) -> dict[str, dict[str, int]]:
+        """Plain nested-dict form for checkpoints (picklable)."""
+        return {kind: s.as_dict() for kind, s in self.by_kind.items()}
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, Mapping[str, int]]) -> "CounterSnapshot":
+        """Rebuild a snapshot from :meth:`as_state` output."""
+        return cls(
+            by_kind=MappingProxyType(
+                {kind: OpStats(**dict(stats)) for kind, stats in state.items()}
+            )
+        )
+
 
 @dataclass
 class CommCounters:
@@ -160,6 +178,20 @@ class CommCounters:
     @property
     def total_calls(self) -> int:
         return sum(s.calls for s in self.by_kind.values())
+
+    # ------------------------------------------------------------------
+    # checkpoint support
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, dict[str, int]]:
+        """Plain nested-dict copy of the per-kind statistics."""
+        return {kind: s.as_dict() for kind, s in self.by_kind.items()}
+
+    def load_state(self, state: Mapping[str, Mapping[str, int]]) -> None:
+        """Restore a :meth:`state_dict` snapshot in place (identity is
+        preserved: holders of this object observe the restore)."""
+        self.by_kind.clear()
+        for kind, stats in state.items():
+            self.by_kind[kind] = OpStats(**dict(stats))
 
     def merge(self, other: "CommCounters") -> None:
         """Accumulate another run's counters into this one."""

@@ -122,6 +122,12 @@ class Engine:
         self.counters = CommCounters()
         self.clocks = VirtualClocks(grid.n_ranks, counters=self.counters)
         self.comm = Communicator(self.costmodel, self.clocks, self.counters)
+        # Robustness hooks (see repro.faults): the bare communicator is
+        # kept so attach/detach_faults can wrap and unwrap self.comm.
+        self._base_comm = self.comm
+        self._injector = None
+        self._last_injector = None
+        self._checkpoints = None
         self.executor: RankExecutor = resolve_executor(executor)
         # Precomputed eagerly (the cluster and grid are immutable) so a
         # concurrent first call cannot race a half-built memo.
@@ -225,11 +231,24 @@ class Engine:
         return [ctx.alloc(name, dtype=dtype, fill=fill) for ctx in self.contexts]
 
     def states(self, name: str) -> list[np.ndarray]:
+        self._require_state(name)
         return [ctx.get(name) for ctx in self.contexts]
 
     def free(self, name: str) -> None:
+        self._require_state(name)
         for ctx in self.contexts:
             ctx.free(name)
+
+    def _require_state(self, name: str) -> None:
+        """Raise a KeyError naming the allocated states when no rank
+        has ``name`` (a typo'd state name should fail loudly, listing
+        what *does* exist, rather than rank-by-rank)."""
+        if not any(ctx.has(name) for ctx in self.contexts):
+            known = sorted({n for ctx in self.contexts for n in ctx.arrays})
+            raise KeyError(
+                f"no state array named {name!r} on any rank; "
+                f"allocated states: {known}"
+            )
 
     def free_expand_caches(self) -> None:
         """Release every rank's cached full expansion (see
@@ -315,6 +334,122 @@ class Engine:
         self.clocks.add_compute(rank, t)
 
     # ------------------------------------------------------------------
+    # robustness: fault injection and checkpoint/recovery (repro.faults)
+    # ------------------------------------------------------------------
+    def attach_faults(self, faults, max_retries: int = 4):
+        """Route all collectives through a fault-injecting
+        :class:`~repro.faults.resilient.ResilientCommunicator`.
+
+        ``faults`` is a :class:`~repro.faults.plan.FaultPlan` or an
+        already-built :class:`~repro.faults.injector.FaultInjector`.
+        Returns the injector (for event inspection).  Imported lazily —
+        ``repro.faults`` sits above the core in the layer order.
+        """
+        from ..faults.injector import FaultInjector
+        from ..faults.plan import FaultPlan
+        from ..faults.resilient import ResilientCommunicator
+
+        injector = (
+            FaultInjector(faults) if isinstance(faults, FaultPlan) else faults
+        )
+        self._injector = injector
+        self._last_injector = injector
+        self.comm = ResilientCommunicator(
+            self._base_comm, injector, max_retries=max_retries
+        )
+        return injector
+
+    def detach_faults(self) -> None:
+        """Unwrap the communicator; fault events stay readable via
+        :attr:`fault_events` until the next :meth:`attach_faults`."""
+        self.comm = self._base_comm
+        self._injector = None
+
+    def attach_checkpoints(self, manager) -> None:
+        """Save a checkpoint at every (interval-matching) superstep
+        boundary; ``manager`` is a
+        :class:`~repro.faults.checkpoint.CheckpointManager`."""
+        self._checkpoints = manager
+
+    def detach_checkpoints(self) -> None:
+        self._checkpoints = None
+
+    @property
+    def checkpoints(self):
+        return self._checkpoints
+
+    @property
+    def fault_events(self) -> list:
+        """Fault events observed by the current (or most recent)
+        injector, as plain dicts — trace rows and reports attach these."""
+        inj = self._injector or self._last_injector
+        return [e.as_dict() for e in inj.events] if inj is not None else []
+
+    def superstep_boundary(self, algo: str = "", state: Optional[dict] = None):
+        """Mark the end of a BSP superstep.
+
+        This is the robustness-aware replacement for calling
+        ``engine.clocks.mark_iteration()`` directly: it records the
+        iteration mark (returning the phase-time delta, as before),
+        saves a checkpoint when a manager is attached and the algorithm
+        supplied its loop ``state``, and advances the fault injector to
+        the next superstep.  Algorithms call this exactly once per
+        superstep.
+        """
+        delta = self.clocks.mark_iteration()
+        superstep = len(self.clocks.iteration_marks)
+        if self._checkpoints is not None and state is not None:
+            self._checkpoints.maybe_save(self, superstep, algo, state)
+        if self._injector is not None:
+            self._injector.begin_superstep(superstep + 1)
+        return delta
+
+    def restore(self, ckpt) -> None:
+        """Restore engine state from a
+        :class:`~repro.faults.checkpoint.Checkpoint`, in place.
+
+        Per-rank arrays are reallocated through the normal ``alloc``
+        path (so device ledgers stay consistent and array identities
+        are fresh), counters and clocks are restored bit-exactly, and
+        an attached injector is fast-forwarded to the checkpoint's
+        superstep so remaining planned faults line up with the resumed
+        run.
+        """
+        for ctx, saved in zip(self.contexts, ckpt.states):
+            for name in [n for n in ctx.arrays if n not in saved]:
+                ctx.free(name)
+            for name, arr in saved.items():
+                dest = ctx.alloc(name, dtype=arr.dtype, length=arr.shape[0])
+                dest[...] = arr
+        self.counters.load_state(ckpt.counters)
+        self.clocks.load_state(ckpt.clocks)
+        if self._injector is not None:
+            self._injector.begin_superstep(ckpt.superstep + 1)
+
+    def resume_from_checkpoint(self, algo: str) -> Optional[dict]:
+        """Restore from the attached manager's latest checkpoint.
+
+        Returns a fresh copy of the algorithm loop state saved with the
+        checkpoint, or ``None`` when there is nothing to resume from
+        (no manager attached, or no checkpoint saved yet).  Refuses to
+        resume a different algorithm's checkpoint.
+        """
+        import copy as _copy
+
+        if self._checkpoints is None:
+            return None
+        ckpt = self._checkpoints.latest()
+        if ckpt is None:
+            return None
+        if ckpt.algo != algo:
+            raise ValueError(
+                f"latest checkpoint belongs to {ckpt.algo!r}, "
+                f"cannot resume {algo!r} from it"
+            )
+        self.restore(ckpt)
+        return _copy.deepcopy(ckpt.algo_state)
+
+    # ------------------------------------------------------------------
     # timing
     # ------------------------------------------------------------------
     def reset_timers(self) -> None:
@@ -324,10 +459,17 @@ class Engine:
         and ``engine.comm`` keep their identities, so a
         :class:`~repro.core.trace.TraceRecorder` or any caller holding
         a reference observes the reset instead of silently watching an
-        orphaned object.
+        orphaned object.  Robustness state resets with the run: an
+        attached fault injector re-arms its plan, and stale checkpoints
+        from a previous run are dropped (they describe state this run
+        will overwrite).
         """
         self.counters.reset()
         self.clocks.reset()
+        if self._injector is not None:
+            self._injector.reset()
+        if self._checkpoints is not None:
+            self._checkpoints.clear()
 
     def timing_report(self) -> TimingReport:
         snap = self.clocks.snapshot()
@@ -343,6 +485,7 @@ class Engine:
             compute=snap.compute,
             comm=snap.comm,
             per_iteration=tuple(deltas),
+            recovery=self.clocks.recovery_total,
         )
 
     def memory_report(self) -> dict[int, float]:

@@ -89,34 +89,49 @@ class VertexProgram:
             raise ValueError(f"bad direction {self.direction!r}")
 
 
-def run_vertex_program(engine: Engine, program: VertexProgram) -> AlgorithmResult:
+def run_vertex_program(
+    engine: Engine, program: VertexProgram, resume: bool = False
+) -> AlgorithmResult:
     """Execute a :class:`VertexProgram` on the 2D engine.
 
     Returns the converged state in original vertex order.
+    ``resume=True`` continues from the engine's latest attached
+    checkpoint (see ``docs/ROBUSTNESS.md``); checkpoints are tagged
+    ``"program:<name>"`` so different programs never cross-resume.
     """
-    engine.reset_timers()
     part, grid = engine.partition, engine.grid
-
-    # ---- initialize state over the full LID space ---------------------
-    def init_state(ctx):
-        lm = ctx.localmap
-        state = ctx.alloc(program.name, np.float64)
-        state[lm.row_slice] = program.init(
-            part.original_gid(np.arange(lm.row_start, lm.row_stop))
-        )
-        state[lm.col_slice] = program.init(
-            part.original_gid(np.arange(lm.col_start, lm.col_stop))
-        )
-        engine.charge_vertices(ctx.rank, ctx.n_total)
-
-    engine.foreach(init_state)
-
-    policy = SwitchPolicy(part.n_vertices, grid, mode=program.mode)
+    algo_tag = f"program:{program.name}"
     all_rows = [ctx.row_lids() for ctx in engine]
-    active = list(all_rows)
-    iteration = 0
 
-    while True:
+    st = engine.resume_from_checkpoint(algo_tag) if resume else None
+    if st is None:
+        engine.reset_timers()
+
+        # ---- initialize state over the full LID space -----------------
+        def init_state(ctx):
+            lm = ctx.localmap
+            state = ctx.alloc(program.name, np.float64)
+            state[lm.row_slice] = program.init(
+                part.original_gid(np.arange(lm.row_start, lm.row_stop))
+            )
+            state[lm.col_slice] = program.init(
+                part.original_gid(np.arange(lm.col_start, lm.col_stop))
+            )
+            engine.charge_vertices(ctx.rank, ctx.n_total)
+
+        engine.foreach(init_state)
+
+        policy = SwitchPolicy(part.n_vertices, grid, mode=program.mode)
+        active = list(all_rows)
+        iteration = 0
+        done = False
+    else:
+        policy = st["policy"]
+        active = st["active"]
+        iteration = st["iteration"]
+        done = st["done"]
+
+    while not done:
         iteration += 1
         rows_per_rank = active if program.use_queue else all_rows
         sparse_now = policy.use_sparse
@@ -181,11 +196,19 @@ def run_vertex_program(engine: Engine, program: VertexProgram) -> AlgorithmResul
                     active = propagate_active_pull(engine, updated)
 
         policy.observe(n_updated)
-        engine.clocks.mark_iteration()
-        if n_updated == 0:
-            break
-        if program.max_iterations is not None and iteration >= program.max_iterations:
-            break
+        done = n_updated == 0 or (
+            program.max_iterations is not None
+            and iteration >= program.max_iterations
+        )
+        engine.superstep_boundary(
+            algo_tag,
+            {
+                "policy": policy,
+                "active": active,
+                "iteration": iteration,
+                "done": done,
+            },
+        )
 
     values = engine.gather(program.name)
     return AlgorithmResult(

@@ -24,11 +24,20 @@ class TimingReport:
     compute: float
     comm: float
     per_iteration: tuple[PhaseTimes, ...] = ()
+    #: Fault-handling overhead (straggler stalls, retry backoff,
+    #: checkpoint drains); exactly 0.0 in fault-free, checkpoint-free
+    #: runs.  Not an additional lane — already contained in ``total``.
+    recovery: float = 0.0
 
     @property
     def comm_fraction(self) -> float:
         """Share of total time spent communicating (paper Fig. 5)."""
         return self.comm / self.total if self.total > 0 else 0.0
+
+    @property
+    def recovery_fraction(self) -> float:
+        """Share of total time spent on fault handling."""
+        return self.recovery / self.total if self.total > 0 else 0.0
 
     def teps(self, n_edges: int) -> float:
         """Traversed edges per second for an ``n_edges`` input."""

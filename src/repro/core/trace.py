@@ -49,6 +49,10 @@ class IterationTrace:
     transfers: int = 0
     calls_by_kind: dict[str, int] = field(default_factory=dict)
     by_kind: dict[str, dict[str, int]] = field(default_factory=dict)
+    #: Fault events observed during this iteration (plain dicts with
+    #: kind / rank / superstep / collective / retries / recovery_s),
+    #: empty in fault-free runs.  See ``repro.faults``.
+    faults: tuple = ()
 
     def as_dict(self) -> dict[str, Any]:
         """Plain-dict view (the JSON row shape)."""
@@ -62,10 +66,16 @@ class IterationTrace:
             "transfers": self.transfers,
             "calls_by_kind": dict(self.calls_by_kind),
             "by_kind": {k: dict(v) for k, v in self.by_kind.items()},
+            "faults": [dict(f) for f in self.faults],
         }
 
 
-def _row(index: int, dt: PhaseTimes, dc: CounterSnapshot) -> IterationTrace:
+def _row(
+    index: int,
+    dt: PhaseTimes,
+    dc: CounterSnapshot,
+    faults: tuple = (),
+) -> IterationTrace:
     return IterationTrace(
         iteration=index,
         total_s=dt.total,
@@ -76,6 +86,7 @@ def _row(index: int, dt: PhaseTimes, dc: CounterSnapshot) -> IterationTrace:
         transfers=dc.total_transfers,
         calls_by_kind=dc.calls_by_kind(),
         by_kind=dc.summary(),
+        faults=faults,
     )
 
 
@@ -118,11 +129,21 @@ class TraceRecorder:
                 "clock marks lack counter snapshots: construct VirtualClocks "
                 "with counters=... (Engine does this) before the run"
             )
+        # Fault events (if the engine ran with an injector attached)
+        # group by the superstep they fired in; events beyond the final
+        # mark (e.g. a crash in a never-completed iteration) belong to
+        # the tail row.
+        by_step: dict[int, list[dict]] = {}
+        for event in getattr(self.engine, "fault_events", []):
+            by_step.setdefault(event["superstep"], []).append(event)
         rows: list[IterationTrace] = []
         prev_t = PhaseTimes(0.0, 0.0, 0.0)
         prev_c = CounterSnapshot.empty()
         for i, (m, c) in enumerate(zip(marks, cmarks)):
-            rows.append(_row(i + 1, m - prev_t, c - prev_c))
+            rows.append(
+                _row(i + 1, m - prev_t, c - prev_c,
+                     faults=tuple(by_step.get(i + 1, ())))
+            )
             prev_t, prev_c = m, c
         if include_tail:
             end_t = clocks.snapshot()
@@ -132,8 +153,12 @@ class TraceRecorder:
                 else prev_c
             )
             dt, dc = end_t - prev_t, end_c - prev_c
-            if dc or dt.total > 0.0:
-                rows.append(_row(len(marks) + 1, dt, dc))
+            tail_faults = tuple(
+                e for step, events in by_step.items()
+                if step > len(marks) for e in events
+            )
+            if dc or dt.total > 0.0 or tail_faults:
+                rows.append(_row(len(marks) + 1, dt, dc, faults=tail_faults))
         return rows
 
     # ------------------------------------------------------------------
@@ -145,13 +170,13 @@ class TraceRecorder:
         writer = csv.writer(buf)
         writer.writerow(
             ["iteration", "total_s", "compute_s", "comm_s", "bytes",
-             "serial_messages", "transfers", "calls"]
+             "serial_messages", "transfers", "calls", "faults"]
         )
         for r in rows:
             writer.writerow(
                 [r.iteration, f"{r.total_s:.9f}", f"{r.compute_s:.9f}",
                  f"{r.comm_s:.9f}", r.bytes, r.serial_messages, r.transfers,
-                 sum(r.calls_by_kind.values())]
+                 sum(r.calls_by_kind.values()), len(r.faults)]
             )
         return buf.getvalue()
 

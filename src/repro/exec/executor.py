@@ -164,15 +164,20 @@ def resolve_executor(spec: "RankExecutor | str | None" = None) -> RankExecutor:
         return SerialExecutor()
     if text == "threads":
         return ThreadedExecutor()
+    valid = "valid forms: 'serial', 'threads', 'threads:N' (integer N >= 1)"
     if text.startswith("threads:"):
-        count = text.split(":", 1)[1]
+        raw = text.split(":", 1)[1]
         try:
-            return ThreadedExecutor(max_workers=int(count))
+            count = int(raw)
         except ValueError:
             raise ValueError(
-                f"bad worker count in executor spec {spec!r}"
+                f"invalid executor spec {spec!r}: worker count {raw!r} "
+                f"is not an integer; {valid}"
             ) from None
-    raise ValueError(
-        f"unknown executor spec {spec!r}; expected 'serial', 'threads', "
-        "or 'threads:N'"
-    )
+        if count < 1:
+            raise ValueError(
+                f"invalid executor spec {spec!r}: worker count must be "
+                f">= 1, got {count}; {valid}"
+            )
+        return ThreadedExecutor(max_workers=count)
+    raise ValueError(f"unknown executor spec {spec!r}; {valid}")

@@ -1,0 +1,41 @@
+"""Fault injection, resilient collectives, and checkpoint/recovery.
+
+The robustness layer of the simulator (see ``docs/ROBUSTNESS.md``):
+
+* :mod:`repro.faults.plan` — deterministic, seed-driven fault plans
+  (crash / transient / corruption / straggler specs) and the
+  :class:`FaultEvent` records runs emit;
+* :mod:`repro.faults.injector` — the plan-executing state machine and
+  the structured :class:`RankFailure` exception;
+* :mod:`repro.faults.resilient` — :class:`ResilientCommunicator`, a
+  drop-in decorator over the collectives layer adding checksum
+  detection, backoff retries, and failure escalation;
+* :mod:`repro.faults.checkpoint` — superstep checkpoints (in-memory
+  and on-disk) that make crashed runs resumable bit-identically;
+* :mod:`repro.faults.scenarios` — the named scenario campaign behind
+  ``python -m repro faults``.
+"""
+
+from .checkpoint import CHECKPOINT_SCHEMA, Checkpoint, CheckpointManager
+from .injector import FaultInjector, RankFailure
+from .plan import FAULT_KINDS, FaultEvent, FaultPlan, FaultSpec
+from .resilient import ResilientCommunicator
+from .scenarios import RUNNERS, SCENARIOS, CaseResult, run_campaign, run_case
+
+__all__ = [
+    "CHECKPOINT_SCHEMA",
+    "Checkpoint",
+    "CheckpointManager",
+    "FaultInjector",
+    "RankFailure",
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultSpec",
+    "ResilientCommunicator",
+    "RUNNERS",
+    "SCENARIOS",
+    "CaseResult",
+    "run_campaign",
+    "run_case",
+]

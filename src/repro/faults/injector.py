@@ -1,0 +1,183 @@
+"""Fault injection state machine.
+
+The :class:`FaultInjector` walks a :class:`~repro.faults.plan.FaultPlan`
+alongside the run: the engine advances its superstep counter at every
+BSP boundary (``Engine.superstep_boundary``) and the
+:class:`~repro.faults.resilient.ResilientCommunicator` consults it
+before every collective.  The injector answers three questions —
+
+* :meth:`crash_among` — is a crashed rank in this group?  (Crashes
+  persist from their superstep onward and fire on the *first*
+  collective that touches the dead rank; the spec is then consumed, so
+  a restored-from-checkpoint rerun with the same injector models a
+  replaced rank rather than an eternally crashing one.)
+* :meth:`stragglers_for` — which group members must stall first?
+* :meth:`next_disruption` — does this attempt fail (transient or
+  corruption)?  Each call consumes one planned failure attempt, so a
+  ``count=2`` transient fails twice then succeeds.
+
+Everything the injector observes lands in :attr:`events` as
+:class:`~repro.faults.plan.FaultEvent` rows, which the engine exposes
+(``Engine.fault_events``) and the trace recorder attaches to iteration
+rows.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .plan import FaultEvent, FaultPlan, FaultSpec
+
+__all__ = ["FaultInjector", "RankFailure"]
+
+
+class RankFailure(RuntimeError):
+    """A rank died (or a collective exhausted its retry budget).
+
+    Carries structured diagnostics — which rank, at which superstep,
+    inside which collective, after how many retries — so recovery code
+    and test assertions don't need to parse the message.
+    """
+
+    def __init__(
+        self,
+        rank: Optional[int],
+        superstep: int,
+        collective: str,
+        fault_kind: str = "crash",
+        retries: int = 0,
+    ):
+        self.rank = rank
+        self.superstep = superstep
+        self.collective = collective
+        self.fault_kind = fault_kind
+        self.retries = retries
+        who = f"rank {rank}" if rank is not None else "a rank"
+        detail = (
+            f" after {retries} retries" if retries else ""
+        )
+        super().__init__(
+            f"{fault_kind} failure: {who} failed during {collective!r} "
+            f"at superstep {superstep}{detail}"
+        )
+
+
+class FaultInjector:
+    """Executes a :class:`FaultPlan` against a running engine.
+
+    The injector is deliberately dumb about *time* — backoff and stall
+    charging live in the resilient communicator — and smart about
+    *when/where*: it tracks the current superstep, matches specs to
+    collectives, and consumes one-shot specs exactly once.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self.superstep = 1
+        self.events: list[FaultEvent] = []
+        # crash specs become "armed" at their superstep and stay armed
+        # until consumed by the first collective touching their rank
+        self._pending_crashes: list[FaultSpec] = list(
+            s for s in plan if s.kind == "crash"
+        )
+        # remaining failure attempts per transient/corruption spec
+        self._attempts: dict[int, int] = {
+            id(s): s.count for s in plan if s.kind in ("transient", "corruption")
+        }
+        # stragglers fire once, on the first matching collective
+        self._pending_stragglers: list[FaultSpec] = list(
+            s for s in plan if s.kind == "straggler"
+        )
+
+    # ------------------------------------------------------------------
+    # run-position tracking
+    # ------------------------------------------------------------------
+    def begin_superstep(self, superstep: int) -> None:
+        """Engine callback: the run is now inside ``superstep``."""
+        self.superstep = superstep
+
+    def reset(self) -> None:
+        """Re-arm the full plan for a fresh run (``Engine.reset_timers``
+        calls this so an engine reused across runs replays its plan)."""
+        self.superstep = 1
+        self.events.clear()
+        self._pending_crashes = [s for s in self.plan if s.kind == "crash"]
+        self._attempts = {
+            id(s): s.count
+            for s in self.plan
+            if s.kind in ("transient", "corruption")
+        }
+        self._pending_stragglers = [
+            s for s in self.plan if s.kind == "straggler"
+        ]
+
+    # ------------------------------------------------------------------
+    # matching helpers
+    # ------------------------------------------------------------------
+    def _matches(self, spec: FaultSpec, kind: str, ranks: Sequence[int]) -> bool:
+        if spec.collective is not None and spec.collective != kind:
+            return False
+        if spec.rank is not None and spec.rank not in ranks:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # queries (called by ResilientCommunicator)
+    # ------------------------------------------------------------------
+    def crash_among(self, kind: str, ranks: Sequence[int]) -> Optional[FaultSpec]:
+        """Return-and-consume a crash spec whose rank is in ``ranks``
+        and whose superstep has arrived; ``None`` if the group is
+        healthy."""
+        for spec in self._pending_crashes:
+            if spec.superstep <= self.superstep and self._matches(
+                spec, kind, ranks
+            ):
+                self._pending_crashes.remove(spec)
+                return spec
+        return None
+
+    def stragglers_for(self, kind: str, ranks: Sequence[int]) -> list[FaultSpec]:
+        """Return-and-consume straggler specs firing on this collective."""
+        fired = [
+            s
+            for s in self._pending_stragglers
+            if s.superstep == self.superstep and self._matches(s, kind, ranks)
+        ]
+        for s in fired:
+            self._pending_stragglers.remove(s)
+        return fired
+
+    def next_disruption(self, kind: str, ranks: Sequence[int]) -> Optional[FaultSpec]:
+        """Consume one failure attempt for this collective, if planned.
+
+        Returns the spec that disrupts this attempt (``transient`` or
+        ``corruption``), or ``None`` when the attempt succeeds.  A spec
+        with ``count=N`` disrupts N consecutive attempts.
+        """
+        for spec in self.plan:
+            if spec.kind not in ("transient", "corruption"):
+                continue
+            if spec.superstep != self.superstep:
+                continue
+            if not self._matches(spec, kind, ranks):
+                continue
+            remaining = self._attempts.get(id(spec), 0)
+            if remaining > 0:
+                self._attempts[id(spec)] = remaining - 1
+                return spec
+        return None
+
+    # ------------------------------------------------------------------
+    # event recording
+    # ------------------------------------------------------------------
+    def record(self, event: FaultEvent) -> None:
+        self.events.append(event)
+
+    @property
+    def exhausted(self) -> bool:
+        """True when every planned fault has fired."""
+        return (
+            not self._pending_crashes
+            and not self._pending_stragglers
+            and not any(self._attempts.values())
+        )

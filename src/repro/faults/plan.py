@@ -1,0 +1,233 @@
+"""Deterministic fault plans (the simulator's fault model).
+
+At the paper's target scale — 400 V100s across 67 AiMOS nodes, with
+multi-hour WDC12 runs — rank crashes, flapping links, corrupted
+payloads, and stragglers are operational facts, not edge cases.  The
+simulator models them the same way it models time: as explicit,
+deterministic events.  A :class:`FaultPlan` is a list of
+:class:`FaultSpec` entries naming *what* goes wrong, *where* (rank),
+and *when* (superstep); :class:`~repro.faults.injector.FaultInjector`
+executes the plan against a run.
+
+Determinism is the point: a plan is either hand-written (tests pin
+exact scenarios) or drawn from a seeded generator
+(:meth:`FaultPlan.random`), and the same plan against the same program
+produces the same fault schedule, the same retries, and the same
+failure — which is what makes recovery *testable*.
+
+Fault kinds
+-----------
+``crash``
+    The rank dies.  The next collective involving it raises
+    :class:`~repro.faults.injector.RankFailure`; recovery means
+    restoring from a checkpoint (the spec is one-shot, modeling the
+    crashed rank being replaced before the resumed run).
+``transient``
+    A collective fails ``count`` times before succeeding (link flap,
+    NCCL timeout).  The resilient communicator retries with
+    exponential backoff charged to the virtual clocks.
+``corruption``
+    The payload arrives with ``count`` bit flips' worth of damage —
+    one flipped bit per attempt — detected by checksum mismatch and
+    retransmitted like a transient failure.
+``straggler``
+    The rank stalls ``delay_s`` virtual seconds before the collective,
+    gating the whole group (BSP semantics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["FAULT_KINDS", "FaultSpec", "FaultPlan", "FaultEvent"]
+
+#: Recognized fault kinds, in documentation order.
+FAULT_KINDS = ("crash", "transient", "corruption", "straggler")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planned fault.
+
+    Parameters
+    ----------
+    kind:
+        One of :data:`FAULT_KINDS`.
+    superstep:
+        1-based BSP superstep (iteration) during which the fault fires.
+    rank:
+        Target rank; ``None`` matches any rank (the first collective of
+        the superstep triggers it).  Crashes and stragglers require an
+        explicit rank.
+    collective:
+        Restrict to one collective kind (``"allreduce"``,
+        ``"allgatherv"``, ...); ``None`` matches any.
+    count:
+        Failed attempts for ``transient``/``corruption`` (each retried
+        with backoff; exceeding the communicator's retry budget turns
+        the fault fatal).
+    delay_s:
+        Stall duration for ``straggler`` faults, in virtual seconds.
+    bit:
+        Bit index flipped by ``corruption`` faults (position within the
+        payload's byte stream; wrapped to the payload size).
+    """
+
+    kind: str
+    superstep: int
+    rank: Optional[int] = None
+    collective: Optional[str] = None
+    count: int = 1
+    delay_s: float = 0.0
+    bit: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; choose from {FAULT_KINDS}"
+            )
+        if self.superstep < 1:
+            raise ValueError(f"superstep must be >= 1, got {self.superstep}")
+        if self.count < 1:
+            raise ValueError(f"count must be >= 1, got {self.count}")
+        if self.kind == "straggler" and self.delay_s <= 0:
+            raise ValueError("straggler faults need delay_s > 0")
+        if self.kind in ("crash", "straggler") and self.rank is None:
+            raise ValueError(f"{self.kind} faults need an explicit rank")
+        if self.rank is not None and self.rank < 0:
+            raise ValueError(f"rank must be >= 0, got {self.rank}")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault occurrence, as observed during a run.
+
+    Events are what surfaces everywhere downstream: trace rows carry
+    them per iteration, the ``faults`` CLI prints them, and
+    :class:`~repro.faults.injector.RankFailure` embeds the fatal one.
+    ``recovery_s`` is the virtual time the event cost (stall seconds or
+    accumulated retry backoff); ``retries`` counts retransmission
+    attempts; ``fatal`` marks the event that killed the run.
+    """
+
+    kind: str
+    rank: Optional[int]
+    superstep: int
+    collective: str
+    retries: int = 0
+    recovery_s: float = 0.0
+    detected: bool = True
+    fatal: bool = False
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "rank": self.rank,
+            "superstep": self.superstep,
+            "collective": self.collective,
+            "retries": self.retries,
+            "recovery_s": self.recovery_s,
+            "detected": self.detected,
+            "fatal": self.fatal,
+        }
+
+
+@dataclass
+class FaultPlan:
+    """An ordered collection of :class:`FaultSpec` entries."""
+
+    specs: list[FaultSpec] = field(default_factory=list)
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        self.specs = sorted(
+            self.specs, key=lambda s: (s.superstep, FAULT_KINDS.index(s.kind))
+        )
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __iter__(self) -> Iterator[FaultSpec]:
+        return iter(self.specs)
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        n_supersteps: int,
+        n_ranks: int,
+        crash_rate: float = 0.0,
+        transient_rate: float = 0.1,
+        corruption_rate: float = 0.05,
+        straggler_rate: float = 0.1,
+        straggler_delay_s: float = 1e-3,
+        max_crashes: int = 1,
+    ) -> "FaultPlan":
+        """Draw a plan from a seeded generator (same seed, same plan).
+
+        Rates are per-superstep Bernoulli probabilities; each drawn
+        fault picks a uniform random rank (and bit, for corruption).
+        Crashes are capped at ``max_crashes`` — each one ends a run, so
+        more than a couple makes a scenario unfinishable even with
+        checkpoints at every boundary.
+        """
+        rng = np.random.default_rng(seed)
+        specs: list[FaultSpec] = []
+        crashes = 0
+        for step in range(1, n_supersteps + 1):
+            if crashes < max_crashes and rng.random() < crash_rate:
+                specs.append(
+                    FaultSpec("crash", step, rank=int(rng.integers(n_ranks)))
+                )
+                crashes += 1
+            if rng.random() < transient_rate:
+                specs.append(
+                    FaultSpec(
+                        "transient",
+                        step,
+                        count=int(rng.integers(1, 3)),
+                    )
+                )
+            if rng.random() < corruption_rate:
+                specs.append(
+                    FaultSpec(
+                        "corruption",
+                        step,
+                        bit=int(rng.integers(0, 64)),
+                    )
+                )
+            if rng.random() < straggler_rate:
+                specs.append(
+                    FaultSpec(
+                        "straggler",
+                        step,
+                        rank=int(rng.integers(n_ranks)),
+                        delay_s=float(straggler_delay_s * (1 + rng.random())),
+                    )
+                )
+        return cls(specs=specs, seed=seed)
+
+    def for_superstep(self, superstep: int) -> list[FaultSpec]:
+        """Specs scheduled exactly at ``superstep`` (crashes are
+        handled separately: they persist from their superstep on)."""
+        return [s for s in self.specs if s.superstep == superstep]
+
+    def describe(self) -> str:
+        """Human-readable one-line-per-spec rendering."""
+        if not self.specs:
+            return "(no faults planned)"
+        lines = []
+        for s in self.specs:
+            where = f"rank {s.rank}" if s.rank is not None else "any rank"
+            what = {
+                "crash": "crash",
+                "transient": f"{s.count}x transient failure",
+                "corruption": f"bit {s.bit} flip",
+                "straggler": f"stall {s.delay_s * 1e3:.3f} ms",
+            }[s.kind]
+            coll = f" on {s.collective}" if s.collective else ""
+            lines.append(f"superstep {s.superstep}: {what} at {where}{coll}")
+        return "\n".join(lines)

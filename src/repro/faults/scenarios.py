@@ -1,0 +1,243 @@
+"""Fault scenario campaign: named fault plans + recovery validation.
+
+Each scenario is a small, fixed :class:`~repro.faults.plan.FaultPlan`
+exercising one failure mode end-to-end.  :func:`run_campaign` runs each
+(scenario, algorithm) pair twice on identically configured engines —
+once fault-free, once faulted — recovers from crashes via the
+checkpoint machinery, and grades the outcome:
+
+``recovered``
+    The run crashed, resumed from the latest checkpoint, and finished.
+    For crash scenarios the resumed run must be **bit-identical** to
+    the fault-free reference — same values, same communication
+    counters, same virtual clocks — because a crash aborts a collective
+    *before* it charges anything, and restore rewinds to the previous
+    superstep boundary exactly.
+``completed``
+    The run absorbed its faults (retries, stalls) without crashing.
+    Values must still match the reference bit-for-bit; virtual time is
+    allowed to differ — recovery cost is the measurement, surfaced as
+    ``recovery_s``.
+``unrecovered``
+    The run crashed with no checkpoint to resume from.  This is the
+    failing grade: the campaign (and the ``python -m repro faults``
+    CLI) reports nonzero when any case ends here.
+``diverged``
+    The faulted run finished but produced different values — the fault
+    machinery corrupted the computation.  Always a bug.
+
+Both runs attach the same :class:`CheckpointManager` configuration so
+checkpoint drain costs cancel out of the comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+import numpy as np
+
+from ..algorithms import bfs, connected_components, pagerank
+from .checkpoint import CheckpointManager
+from .injector import RankFailure
+from .plan import FaultPlan, FaultSpec
+
+__all__ = ["SCENARIOS", "RUNNERS", "CaseResult", "run_case", "run_campaign"]
+
+#: Named fault plans.  Supersteps are 1-based; ranks assume at least a
+#: 2x2 grid.  ``crash-unrecovered`` is the deliberate-failure scenario
+#: (run without checkpoints) and is therefore *not* part of the default
+#: campaign — select it explicitly to verify the failing exit path.
+SCENARIOS: dict[str, FaultPlan] = {
+    "crash-recover": FaultPlan([FaultSpec("crash", 2, rank=1)]),
+    "transient-retry": FaultPlan([FaultSpec("transient", 1, count=2)]),
+    "bitflip-detect": FaultPlan([FaultSpec("corruption", 2, bit=7)]),
+    "straggler-drag": FaultPlan(
+        [
+            FaultSpec("straggler", 1, rank=0, delay_s=5e-4),
+            FaultSpec("straggler", 2, rank=2, delay_s=1e-3),
+        ]
+    ),
+    "crash-unrecovered": FaultPlan([FaultSpec("crash", 2, rank=0)]),
+}
+
+#: Scenarios included in a default (``--scenario all``) campaign.
+DEFAULT_SCENARIOS = (
+    "crash-recover",
+    "transient-retry",
+    "bitflip-detect",
+    "straggler-drag",
+)
+
+#: Scenarios that run without a checkpoint manager attached.
+UNCHECKPOINTED = {"crash-unrecovered"}
+
+#: Resume-capable runners keyed by the paper's abbreviations.
+RUNNERS: dict[str, Callable[..., Any]] = {
+    "BFS": lambda engine, resume=False: bfs(engine, root=0, resume=resume),
+    "PR": lambda engine, resume=False: pagerank(
+        engine, iterations=10, resume=resume
+    ),
+    "CC": lambda engine, resume=False: connected_components(
+        engine, resume=resume
+    ),
+}
+
+
+@dataclass
+class CaseResult:
+    """Outcome of one (scenario, algorithm) pair."""
+
+    scenario: str
+    algo: str
+    status: str  # recovered | completed | unrecovered | diverged
+    values_equal: Optional[bool] = None
+    counters_equal: Optional[bool] = None
+    clocks_equal: Optional[bool] = None
+    fault_events: list[dict] = field(default_factory=list)
+    recovery_s: float = 0.0
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status in ("recovered", "completed") and (
+            self.values_equal is not False
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "algo": self.algo,
+            "status": self.status,
+            "ok": self.ok,
+            "values_equal": self.values_equal,
+            "counters_equal": self.counters_equal,
+            "clocks_equal": self.clocks_equal,
+            "n_fault_events": len(self.fault_events),
+            "fault_events": self.fault_events,
+            "recovery_s": self.recovery_s,
+            "error": self.error,
+        }
+
+
+def _values_of(result) -> Optional[np.ndarray]:
+    return result.values
+
+
+def run_case(
+    make_engine: Callable[[], Any],
+    algo: str,
+    scenario: str,
+    plan: Optional[FaultPlan] = None,
+    checkpoint_interval: int = 1,
+    max_retries: int = 4,
+) -> CaseResult:
+    """Run one (scenario, algorithm) pair and grade the outcome."""
+    if algo not in RUNNERS:
+        raise ValueError(f"unknown algorithm {algo!r}; choose from {sorted(RUNNERS)}")
+    if plan is None:
+        if scenario not in SCENARIOS:
+            raise ValueError(
+                f"unknown scenario {scenario!r}; choose from {sorted(SCENARIOS)}"
+            )
+        plan = SCENARIOS[scenario]
+    runner = RUNNERS[algo]
+    checkpointed = scenario not in UNCHECKPOINTED
+
+    # Fault-free reference, same checkpoint configuration (checkpoint
+    # drain time must appear in both runs for clocks to compare equal).
+    ref_engine = make_engine()
+    if checkpointed:
+        ref_engine.attach_checkpoints(
+            CheckpointManager(interval=checkpoint_interval)
+        )
+    ref = runner(ref_engine)
+
+    # Faulted run.
+    engine = make_engine()
+    if checkpointed:
+        engine.attach_checkpoints(CheckpointManager(interval=checkpoint_interval))
+    engine.attach_faults(plan, max_retries=max_retries)
+
+    crashed = False
+    try:
+        result = runner(engine)
+    except RankFailure as failure:
+        crashed = True
+        mgr = engine.checkpoints
+        if mgr is None or mgr.latest() is None:
+            return CaseResult(
+                scenario=scenario,
+                algo=algo,
+                status="unrecovered",
+                fault_events=engine.fault_events,
+                recovery_s=engine.clocks.recovery_total,
+                error=str(failure),
+            )
+        # The crash consumed its fault spec (the failed rank is modeled
+        # as replaced), so the same injector stays attached and any
+        # remaining planned faults hit the resumed run.
+        result = runner(engine, resume=True)
+
+    ref_values = _values_of(ref)
+    values = _values_of(result)
+    values_equal = (
+        bool(np.array_equal(ref_values, values))
+        if ref_values is not None and values is not None
+        else None
+    )
+    counters_equal = ref_engine.counters.summary() == engine.counters.summary()
+    clocks_equal = (
+        bool(np.array_equal(ref_engine.clocks.clock, engine.clocks.clock))
+        and bool(np.array_equal(ref_engine.clocks.compute, engine.clocks.compute))
+        and bool(np.array_equal(ref_engine.clocks.comm, engine.clocks.comm))
+    )
+    status = (
+        "diverged"
+        if values_equal is False
+        else ("recovered" if crashed else "completed")
+    )
+    return CaseResult(
+        scenario=scenario,
+        algo=algo,
+        status=status,
+        values_equal=values_equal,
+        counters_equal=counters_equal,
+        clocks_equal=clocks_equal,
+        fault_events=engine.fault_events,
+        recovery_s=engine.clocks.recovery_total,
+    )
+
+
+def run_campaign(
+    make_engine: Callable[[], Any],
+    algos: Sequence[str] = ("BFS", "PR", "CC"),
+    scenarios: Sequence[str] = DEFAULT_SCENARIOS,
+    checkpoint_interval: int = 1,
+    max_retries: int = 4,
+) -> dict:
+    """Run the full scenario x algorithm grid; return a report dict.
+
+    ``report["failed"]`` counts cases that did not end in a healthy
+    state (unrecovered, diverged, or value-mismatched) — the campaign
+    CLI turns it into the process exit code.
+    """
+    cases = []
+    for scenario in scenarios:
+        for algo in algos:
+            cases.append(
+                run_case(
+                    make_engine,
+                    algo,
+                    scenario,
+                    checkpoint_interval=checkpoint_interval,
+                    max_retries=max_retries,
+                )
+            )
+    return {
+        "schema": "repro.faults.campaign.v1",
+        "cases": [c.as_dict() for c in cases],
+        "total": len(cases),
+        "failed": sum(1 for c in cases if not c.ok),
+        "unrecovered": sum(1 for c in cases if c.status == "unrecovered"),
+    }

@@ -56,6 +56,32 @@ class TestAllReduce:
         with pytest.raises(ValueError):
             comm.allreduce([0, 1], [np.zeros(1)])
 
+    def test_group_mismatch_names_counts(self, comm):
+        with pytest.raises(ValueError) as exc:
+            comm.allreduce([0, 1, 2], [np.zeros(1), np.zeros(1)])
+        msg = str(exc.value)
+        assert "3 ranks" in msg and "2 buffers" in msg
+        assert "[0, 1, 2]" in msg
+
+    def test_shape_skew_names_offending_rank(self, comm):
+        with pytest.raises(ValueError) as exc:
+            comm.allreduce(
+                [0, 3, 5], [np.zeros(4), np.zeros(5), np.zeros(4)]
+            )
+        msg = str(exc.value)
+        assert "rank 3" in msg and "(5,)" in msg
+        assert "rank 0" in msg and "(4,)" in msg  # the reference rank
+        assert "rank 5" not in msg  # conforming ranks are not accused
+
+    def test_dtype_skew_names_offending_rank(self, comm):
+        with pytest.raises(ValueError) as exc:
+            comm.allreduce(
+                [0, 1],
+                [np.zeros(2, dtype=np.float64), np.zeros(2, dtype=np.int64)],
+            )
+        msg = str(exc.value)
+        assert "rank 1" in msg and "int64" in msg
+
     def test_charges_time_and_counters(self, comm):
         comm.allreduce([0, 1, 2], [np.zeros(100)] * 3, op="sum")
         assert comm.clocks.elapsed > 0
@@ -105,6 +131,17 @@ class TestAllGatherv:
         out = comm.allgatherv([0, 1], [a, b])
         assert out.size == 3
         assert out["gid"].tolist() == [1, 2, 3]
+
+    def test_dtype_skew_rejected_with_offenders(self, comm):
+        with pytest.raises(ValueError) as exc:
+            comm.allgatherv(
+                [2, 4],
+                [np.zeros(2, dtype=np.float64), np.zeros(3, dtype=np.float32)],
+            )
+        msg = str(exc.value)
+        assert "one dtype" in msg
+        assert "rank 2" in msg and "float64" in msg
+        assert "rank 4" in msg and "float32" in msg
 
     def test_counters_volume(self, comm):
         bufs = [np.zeros(10), np.zeros(20)]

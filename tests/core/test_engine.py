@@ -55,6 +55,27 @@ class TestState:
         with pytest.raises(KeyError, match="no state array"):
             e.ctx(0).get("nope")
 
+    def test_states_typo_lists_allocated_names(self, rmat_graph):
+        e = Engine(rmat_graph, 4)
+        e.alloc("pr", np.float64)
+        e.alloc("acc", np.float64)
+        with pytest.raises(KeyError) as exc:
+            e.states("pagerank")
+        msg = str(exc.value)
+        assert "'pagerank'" in msg
+        assert "'acc'" in msg and "'pr'" in msg  # sorted listing
+
+    def test_free_typo_lists_allocated_names(self, rmat_graph):
+        e = Engine(rmat_graph, 4)
+        e.alloc("depth", np.int64)
+        with pytest.raises(KeyError, match=r"allocated states: \['depth'\]"):
+            e.free("depht")
+
+    def test_gather_typo_lists_allocated_names(self, rmat_graph):
+        e = Engine(rmat_graph, 4)
+        with pytest.raises(KeyError, match=r"allocated states: \[\]"):
+            e.gather("missing")
+
     def test_free_releases_memory(self, rmat_graph):
         e = Engine(rmat_graph, 4)
         e.alloc("z", np.float64)

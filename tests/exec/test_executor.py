@@ -48,11 +48,29 @@ class TestResolveExecutor:
         monkeypatch.setenv(ENV_VAR, "threads:2")
         assert isinstance(resolve_executor("serial"), SerialExecutor)
 
-    def test_bad_spec(self):
-        with pytest.raises(ValueError):
+    def test_unknown_spec_names_offender_and_valid_forms(self):
+        with pytest.raises(ValueError) as exc:
             resolve_executor("gpus")
-        with pytest.raises(ValueError):
+        assert "'gpus'" in str(exc.value)
+        assert "valid forms" in str(exc.value)
+        assert "threads:N" in str(exc.value)
+
+    def test_non_integer_worker_count(self):
+        with pytest.raises(ValueError) as exc:
             resolve_executor("threads:zero")
+        assert "'zero'" in str(exc.value)
+        assert "not an integer" in str(exc.value)
+        assert "valid forms" in str(exc.value)
+
+    def test_nonpositive_worker_count(self):
+        with pytest.raises(ValueError) as exc:
+            resolve_executor("threads:0")
+        assert ">= 1" in str(exc.value)
+        assert "got 0" in str(exc.value)
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(TypeError, match="RankExecutor, a string, or None"):
+            resolve_executor(4)
 
 
 class TestSerialExecutor:

@@ -1,0 +1,1 @@
+"""Robustness tests: fault injection, resilient collectives, checkpoint/recovery."""

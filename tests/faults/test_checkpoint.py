@@ -1,0 +1,194 @@
+"""CheckpointManager: snapshot, prune, restore, disk round-trip."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import Engine, algorithms
+from repro.faults import CHECKPOINT_SCHEMA, CheckpointManager
+from repro.graph import rmat
+
+
+def small_engine(n_ranks=4):
+    return Engine(rmat(7, seed=3), n_ranks)
+
+
+class TestManagerConfig:
+    def test_interval_validated(self):
+        with pytest.raises(ValueError, match="interval"):
+            CheckpointManager(interval=0)
+
+    def test_keep_validated(self):
+        with pytest.raises(ValueError, match="keep"):
+            CheckpointManager(keep=0)
+
+    def test_maybe_save_honors_interval(self):
+        engine = small_engine()
+        mgr = CheckpointManager(interval=3, checkpoint_bw=None)
+        engine.attach_checkpoints(mgr)
+        algorithms.pagerank(engine, iterations=7)
+        # boundaries 3 and 6 fall on the interval
+        assert mgr.saves == 2
+        assert mgr.latest().superstep == 6
+
+    def test_keep_prunes_oldest(self):
+        engine = small_engine()
+        mgr = CheckpointManager(interval=1, keep=2, checkpoint_bw=None)
+        engine.attach_checkpoints(mgr)
+        algorithms.pagerank(engine, iterations=5)
+        assert mgr.saves == 5
+        assert [c.superstep for c in mgr.checkpoints] == [4, 5]
+
+
+class TestSnapshotContents:
+    def test_checkpoint_captures_full_engine_state(self):
+        engine = small_engine()
+        mgr = CheckpointManager(interval=1, checkpoint_bw=None)
+        engine.attach_checkpoints(mgr)
+        algorithms.pagerank(engine, iterations=3)
+        ckpt = mgr.latest()
+        assert ckpt.schema == CHECKPOINT_SCHEMA
+        assert ckpt.algo == "pagerank"
+        assert len(ckpt.states) == engine.n_ranks
+        assert all("pr" in per_rank for per_rank in ckpt.states)
+        assert ckpt.nbytes > 0
+        assert "iterations_run" in ckpt.algo_state
+
+    def test_snapshot_is_a_copy(self):
+        engine = small_engine()
+        mgr = CheckpointManager(interval=1, keep=10, checkpoint_bw=None)
+        engine.attach_checkpoints(mgr)
+        algorithms.pagerank(engine, iterations=4)
+        first, last = mgr.checkpoints[0], mgr.checkpoints[-1]
+        # PageRank keeps iterating after the first boundary, so a live
+        # view would have made these equal
+        assert not np.array_equal(first.states[0]["pr"], last.states[0]["pr"])
+
+    def test_checkpoint_cost_charged_to_recovery_lane(self):
+        free = small_engine()
+        algorithms.pagerank(free, iterations=3)
+        engine = small_engine()
+        engine.attach_checkpoints(CheckpointManager(interval=1))
+        algorithms.pagerank(engine, iterations=3)
+        assert engine.clocks.recovery_total > 0
+        assert engine.clocks.elapsed > free.clocks.elapsed
+
+    def test_checkpoint_bw_none_is_free(self):
+        free = small_engine()
+        algorithms.pagerank(free, iterations=3)
+        engine = small_engine()
+        engine.attach_checkpoints(CheckpointManager(interval=1, checkpoint_bw=None))
+        algorithms.pagerank(engine, iterations=3)
+        assert engine.clocks.elapsed == free.clocks.elapsed
+        assert engine.clocks.recovery_total == 0.0
+
+
+class TestRestore:
+    def test_restore_rewinds_engine_exactly(self):
+        engine = small_engine()
+        mgr = CheckpointManager(interval=1, keep=10, checkpoint_bw=None)
+        engine.attach_checkpoints(mgr)
+        algorithms.pagerank(engine, iterations=5)
+        mid = mgr.checkpoints[2]  # superstep 3
+        final_pr = [a.copy() for a in engine.states("pr")]
+        engine.restore(mid)
+        assert not all(
+            np.array_equal(a, b) for a, b in zip(engine.states("pr"), final_pr)
+        )
+        for rank, arr in enumerate(engine.states("pr")):
+            assert np.array_equal(arr, mid.states[rank]["pr"])
+        assert engine.counters.state_dict() == mid.counters
+        assert len(engine.clocks.iteration_marks) == mid.superstep
+
+    def test_resume_from_checkpoint_checks_algo_tag(self):
+        engine = small_engine()
+        engine.attach_checkpoints(CheckpointManager(checkpoint_bw=None))
+        algorithms.pagerank(engine, iterations=3)
+        with pytest.raises(ValueError, match="pagerank"):
+            engine.resume_from_checkpoint("bfs")
+
+    def test_resume_without_manager_returns_none(self):
+        engine = small_engine()
+        assert engine.resume_from_checkpoint("bfs") is None
+
+
+class TestDiskRoundTrip:
+    def test_pickle_round_trip(self, tmp_path):
+        engine = small_engine()
+        mgr = CheckpointManager(
+            interval=1, directory=str(tmp_path), checkpoint_bw=None
+        )
+        engine.attach_checkpoints(mgr)
+        algorithms.pagerank(engine, iterations=4)
+        loaded = CheckpointManager.latest_on_disk(str(tmp_path))
+        live = mgr.latest()
+        assert loaded.superstep == live.superstep
+        assert loaded.algo == live.algo
+        assert loaded.counters == live.counters
+        for a, b in zip(loaded.states, live.states):
+            assert sorted(a) == sorted(b)
+            for name in a:
+                assert np.array_equal(a[name], b[name])
+        assert loaded.algo_state == live.algo_state
+
+    def test_disk_prune_tracks_keep(self, tmp_path):
+        engine = small_engine()
+        mgr = CheckpointManager(
+            interval=1, directory=str(tmp_path), keep=2, checkpoint_bw=None
+        )
+        engine.attach_checkpoints(mgr)
+        algorithms.pagerank(engine, iterations=5)
+        files = sorted(os.listdir(tmp_path))
+        assert files == ["ckpt_000004.pkl", "ckpt_000005.pkl"]
+
+    def test_resume_in_fresh_process_equivalent(self, tmp_path):
+        # Simulate a whole-process crash: run to completion once for
+        # reference, then restore a *fresh* engine from disk and finish.
+        g = rmat(7, seed=3)
+        ref = algorithms.pagerank(
+            Engine(g, 4), iterations=6
+        )
+        engine = Engine(g, 4)
+        engine.attach_checkpoints(
+            CheckpointManager(
+                interval=1, directory=str(tmp_path), checkpoint_bw=None
+            )
+        )
+        algorithms.pagerank(engine, iterations=3)  # "crashes" after 3
+
+        fresh = Engine(g, 4)
+        mgr = CheckpointManager(
+            interval=1, directory=str(tmp_path), checkpoint_bw=None
+        )
+        mgr.checkpoints.append(CheckpointManager.latest_on_disk(str(tmp_path)))
+        fresh.attach_checkpoints(mgr)
+        res = algorithms.pagerank(fresh, iterations=6, resume=True)
+        assert np.array_equal(res.values, ref.values)
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        import pickle
+
+        from repro.faults.checkpoint import Checkpoint
+
+        bad = Checkpoint(
+            superstep=1, algo="x", states=[], counters={}, clocks={},
+            schema="repro.checkpoint.v999",
+        )
+        path = tmp_path / "ckpt_000001.pkl"
+        with open(path, "wb") as fh:
+            pickle.dump(bad, fh)
+        with pytest.raises(ValueError, match="schema mismatch"):
+            CheckpointManager.load(str(path))
+
+    def test_load_rejects_non_checkpoint(self, tmp_path):
+        import pickle
+
+        path = tmp_path / "ckpt_000001.pkl"
+        with open(path, "wb") as fh:
+            pickle.dump({"not": "a checkpoint"}, fh)
+        with pytest.raises(ValueError, match="does not contain"):
+            CheckpointManager.load(str(path))
+
+    def test_latest_on_disk_missing_directory(self, tmp_path):
+        assert CheckpointManager.latest_on_disk(str(tmp_path / "nope")) is None

@@ -1,0 +1,91 @@
+"""FaultPlan/FaultSpec: validation and seeded determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import FAULT_KINDS, FaultPlan, FaultSpec
+
+
+class TestFaultSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec("meteor", 1)
+
+    def test_superstep_must_be_positive(self):
+        with pytest.raises(ValueError, match="superstep"):
+            FaultSpec("transient", 0)
+
+    def test_crash_needs_rank(self):
+        with pytest.raises(ValueError, match="explicit rank"):
+            FaultSpec("crash", 1)
+
+    def test_straggler_needs_positive_delay(self):
+        with pytest.raises(ValueError, match="delay_s"):
+            FaultSpec("straggler", 1, rank=0)
+
+    def test_count_must_be_positive(self):
+        with pytest.raises(ValueError, match="count"):
+            FaultSpec("transient", 1, count=0)
+
+    def test_negative_rank_rejected(self):
+        with pytest.raises(ValueError, match="rank"):
+            FaultSpec("transient", 1, rank=-1)
+
+
+class TestFaultPlan:
+    def test_specs_sorted_by_superstep(self):
+        plan = FaultPlan(
+            [
+                FaultSpec("transient", 5),
+                FaultSpec("crash", 2, rank=0),
+                FaultSpec("corruption", 1),
+            ]
+        )
+        assert [s.superstep for s in plan] == [1, 2, 5]
+
+    def test_random_is_seed_deterministic(self):
+        a = FaultPlan.random(seed=7, n_supersteps=50, n_ranks=16,
+                             crash_rate=0.05, transient_rate=0.3,
+                             corruption_rate=0.2, straggler_rate=0.3)
+        b = FaultPlan.random(seed=7, n_supersteps=50, n_ranks=16,
+                             crash_rate=0.05, transient_rate=0.3,
+                             corruption_rate=0.2, straggler_rate=0.3)
+        assert a.specs == b.specs
+        assert len(a) > 0
+
+    def test_random_seeds_differ(self):
+        a = FaultPlan.random(seed=1, n_supersteps=50, n_ranks=16)
+        b = FaultPlan.random(seed=2, n_supersteps=50, n_ranks=16)
+        assert a.specs != b.specs
+
+    def test_random_caps_crashes(self):
+        plan = FaultPlan.random(
+            seed=3, n_supersteps=100, n_ranks=4, crash_rate=1.0, max_crashes=2
+        )
+        assert sum(1 for s in plan if s.kind == "crash") == 2
+
+    def test_random_kinds_valid(self):
+        plan = FaultPlan.random(seed=9, n_supersteps=30, n_ranks=8,
+                                crash_rate=0.1, transient_rate=0.5,
+                                corruption_rate=0.5, straggler_rate=0.5)
+        assert all(s.kind in FAULT_KINDS for s in plan)
+
+    def test_for_superstep_filters(self):
+        plan = FaultPlan(
+            [FaultSpec("transient", 2), FaultSpec("corruption", 4)]
+        )
+        assert [s.kind for s in plan.for_superstep(2)] == ["transient"]
+        assert plan.for_superstep(3) == []
+
+    def test_describe_mentions_every_spec(self):
+        plan = FaultPlan(
+            [
+                FaultSpec("crash", 2, rank=1),
+                FaultSpec("straggler", 3, rank=0, delay_s=1e-3),
+            ]
+        )
+        text = plan.describe()
+        assert "superstep 2" in text and "crash" in text
+        assert "superstep 3" in text and "stall" in text
+        assert FaultPlan([]).describe() == "(no faults planned)"
