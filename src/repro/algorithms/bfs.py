@@ -10,9 +10,12 @@ sparse queue exchanges; bottom-up iterations (which only run when the
 frontier covers much of the graph) exchange parent slices densely, the
 Graph500-style whole-frontier reduction.  Parent assignments reduce
 with MIN over candidate parent GIDs so every rank resolves ties
-identically.
+identically; candidates are *original* ids, so the tie-break — and
+therefore the full trajectory — is independent of the partition's
+relabeling (a run migrated onto a different grid mid-flight replays
+bit-identically; see ``docs/ROBUSTNESS.md``).
 
-State: ``parent`` holds the parent's relabeled GID (``inf`` =
+State: ``parent`` holds the parent's original GID (``inf`` =
 unvisited); ``level`` is maintained locally from the iteration at which
 a vertex's parent first appeared (no extra exchange needed, since
 parent updates are made consistent each iteration).
@@ -45,6 +48,7 @@ def bfs(
     beta: float = BETA,
     hybrid: bool = True,
     resume: bool = False,
+    elastic=None,
 ) -> AlgorithmResult:
     """BFS from ``root`` (original vertex id).
 
@@ -53,8 +57,22 @@ def bfs(
     ``hybrid=False`` forces pure top-down (for ablations).
     ``resume=True`` continues from the engine's latest attached
     checkpoint instead of starting over (falling back to a fresh run
-    when there is none); see ``docs/ROBUSTNESS.md``.
+    when there is none); see ``docs/ROBUSTNESS.md``.  ``elastic=``
+    additionally survives permanent rank loss by regridding onto the
+    surviving GPUs (an :class:`~repro.faults.elastic.ElasticRecovery`,
+    a grid-policy spec string, or ``True`` for the default policy).
     """
+    if elastic:
+        from ..faults.elastic import drive_elastic
+
+        return drive_elastic(
+            lambda e, r: bfs(
+                e, root, alpha=alpha, beta=beta, hybrid=hybrid, resume=r
+            ),
+            engine,
+            elastic,
+            resume=resume,
+        )
     part, grid = engine.partition, engine.grid
     n = part.n_vertices
     if not 0 <= root < n:
@@ -89,7 +107,7 @@ def bfs(
             if lm.col_start <= root_rel < lm.col_stop:
                 lids.append(lm.col_lid(root_rel))
             for lid in lids:
-                parent[lid] = root_rel
+                parent[lid] = root
                 level[lid] = 0.0
             deg = float(ctx.get("deg")[lids[0]]) if lids else None
             entry = (
@@ -159,7 +177,9 @@ def bfs(
                     return np.empty(0, dtype=np.int64)
                 unvisited = parent[dst] == INF
                 src, dst = src[unvisited], dst[unvisited]
-                cand_parent = ctx.localmap.row_gid(src).astype(np.float64)
+                cand_parent = part.original_gid(
+                    ctx.localmap.row_gid(src)
+                ).astype(np.float64)
                 return scatter_reduce(parent, dst, cand_parent, "min")
 
             queues = engine.map_ranks(top_down)
@@ -186,7 +206,9 @@ def bfs(
                 if dst.size:
                     in_frontier = level[dst] == depth - 1
                     src, dst = src[in_frontier], dst[in_frontier]
-                    cand_parent = ctx.localmap.col_gid(dst).astype(np.float64)
+                    cand_parent = part.original_gid(
+                        ctx.localmap.col_gid(dst)
+                    ).astype(np.float64)
                     scatter_reduce(parent, src, cand_parent, "min")
 
             engine.foreach(bottom_up_scan)
@@ -240,11 +262,11 @@ def bfs(
         done = n_visited >= n
         engine.superstep_boundary("bfs", _loop_state())
 
-    parents_rel = engine.gather("parent")
+    parent_state = engine.gather("parent")
     levels = engine.gather("level")
-    reached = np.isfinite(parents_rel)
+    reached = np.isfinite(parent_state)
     parents = np.full(n, -1, dtype=np.int64)
-    parents[reached] = part.original_gid(parents_rel[reached].astype(np.int64))
+    parents[reached] = parent_state[reached].astype(np.int64)
     out_levels = np.where(np.isfinite(levels), levels, -1).astype(np.int64)
     return AlgorithmResult(
         values=parents,

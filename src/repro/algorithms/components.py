@@ -47,11 +47,21 @@ _STATE = "cc"
 
 
 def _init_labels(engine: Engine) -> None:
+    # Labels are *original* vertex ids (not relabeled GIDs) so the MIN
+    # fixpoint — each component's smallest original id — is independent
+    # of the partition's relabeling; a run migrated onto a different
+    # grid mid-flight replays bit-identically (docs/ROBUSTNESS.md).
+    part = engine.partition
+
     def init(ctx):
         lm = ctx.localmap
         state = ctx.alloc(_STATE, np.float64)
-        state[lm.row_slice] = np.arange(lm.row_start, lm.row_stop)
-        state[lm.col_slice] = np.arange(lm.col_start, lm.col_stop)
+        state[lm.row_slice] = part.original_gid(
+            np.arange(lm.row_start, lm.row_stop)
+        )
+        state[lm.col_slice] = part.original_gid(
+            np.arange(lm.col_start, lm.col_stop)
+        )
         engine.charge_vertices(ctx.rank, ctx.n_total)
 
     engine.foreach(init)
@@ -103,6 +113,7 @@ def connected_components(
     max_iterations: Optional[int] = None,
     switch_threshold_factor: float = 1.0,
     resume: bool = False,
+    elastic=None,
 ) -> AlgorithmResult:
     """Run color-propagation CC to convergence.
 
@@ -126,10 +137,29 @@ def connected_components(
         none); see ``docs/ROBUSTNESS.md``.
 
     Returns component labels (original GIDs of the winning
-    representatives) in original vertex order.
+    representatives) in original vertex order.  ``elastic=`` survives
+    permanent rank loss by regridding onto the surviving GPUs (see
+    ``docs/ROBUSTNESS.md``).
     """
     if direction not in ("push", "pull"):
         raise ValueError(f"direction must be 'push' or 'pull', got {direction!r}")
+    if elastic:
+        from ..faults.elastic import drive_elastic
+
+        return drive_elastic(
+            lambda e, r: connected_components(
+                e,
+                direction=direction,
+                mode=mode,
+                use_queue=use_queue,
+                max_iterations=max_iterations,
+                switch_threshold_factor=switch_threshold_factor,
+                resume=r,
+            ),
+            engine,
+            elastic,
+            resume=resume,
+        )
     part, grid = engine.partition, engine.grid
     all_rows = [ctx.row_lids() for ctx in engine]
 
@@ -220,8 +250,7 @@ def connected_components(
             },
         )
 
-    labels_relabeled = engine.gather(_STATE).astype(np.int64)
-    values = part.original_gid(labels_relabeled)
+    values = engine.gather(_STATE).astype(np.int64)
     return AlgorithmResult(
         values=values,
         timings=engine.timing_report(),

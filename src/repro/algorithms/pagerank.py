@@ -76,6 +76,7 @@ def pagerank(
     weighted: bool = False,
     tol: Optional[float] = None,
     resume: bool = False,
+    elastic=None,
 ) -> AlgorithmResult:
     """Run synchronous PageRank (paper default: 20 fixed iterations).
 
@@ -98,7 +99,31 @@ def pagerank(
 
     Returns the PageRank vector in original vertex order; it matches
     the serial reference to floating-point roundoff.
+
+    ``elastic=`` survives permanent rank loss by regridding onto the
+    surviving GPUs.  Note that PageRank's floating-point sum reductions
+    are sensitive to the operand grouping a different grid induces:
+    values after a shrink-regrid agree with the fault-free run to
+    within ~1 ulp rather than bit-exactly (spare-pool recoveries, which
+    keep the grid, stay bit-exact); see ``docs/ROBUSTNESS.md``.
     """
+    if elastic:
+        from ..faults.elastic import drive_elastic
+
+        return drive_elastic(
+            lambda e, r: pagerank(
+                e,
+                iterations=iterations,
+                damping=damping,
+                personalization=personalization,
+                weighted=weighted,
+                tol=tol,
+                resume=r,
+            ),
+            engine,
+            elastic,
+            resume=resume,
+        )
     n = engine.partition.n_vertices
     grid = engine.grid
     all_ranks = list(range(grid.n_ranks))

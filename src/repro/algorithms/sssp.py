@@ -29,15 +29,26 @@ def sssp(
     root: int,
     max_iterations: int | None = None,
     resume: bool = False,
+    elastic=None,
 ) -> AlgorithmResult:
     """Shortest path distance from ``root`` to every vertex.
 
     Requires non-negative edge weights.  Returns distances in original
     vertex order (``inf`` for unreachable vertices), exactly equal to a
     serial Bellman-Ford / Dijkstra result.  ``resume=True`` continues
-    from the engine's latest attached checkpoint (see
+    from the engine's latest attached checkpoint; ``elastic=`` also
+    survives permanent rank loss by regridding (see
     ``docs/ROBUSTNESS.md``).
     """
+    if elastic:
+        from ..faults.elastic import drive_elastic
+
+        return drive_elastic(
+            lambda e, r: sssp(e, root, max_iterations=max_iterations, resume=r),
+            engine,
+            elastic,
+            resume=resume,
+        )
     part, grid = engine.partition, engine.grid
     if not part.weighted:
         raise ValueError("sssp needs an edge-weighted graph")

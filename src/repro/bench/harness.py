@@ -25,7 +25,7 @@ from ..algorithms import (
     pointer_jumping,
 )
 from ..cluster.config import AIMOS, ClusterConfig
-from ..comm.grid import Grid2D, square_grid
+from ..comm.grid import Grid2D, squarest_grid
 from ..core.engine import Engine
 from ..core.result import AlgorithmResult
 from ..core.trace import IterationTrace, TraceRecorder
@@ -89,10 +89,14 @@ class ExperimentRow:
 
 
 def grid_for(n_ranks: int) -> Grid2D:
-    """The grid a given rank count uses in the paper's experiments."""
+    """The grid a given rank count uses in the paper's experiments.
+
+    Rank counts outside the paper's tables fall back to the most
+    square factor pair (the paper's stated layout preference).
+    """
     if n_ranks in RANK_GRIDS:
         return RANK_GRIDS[n_ranks]
-    return square_grid(n_ranks)
+    return squarest_grid(n_ranks)
 
 
 def make_engine(

@@ -190,30 +190,87 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     import json
 
     from .faults.scenarios import (
+        DEFAULT_ELASTIC_SCENARIOS,
         DEFAULT_SCENARIOS,
+        ELASTIC_RUNNERS,
+        ELASTIC_SCENARIOS,
         RUNNERS,
         SCENARIOS,
         run_campaign,
+        run_elastic_campaign,
     )
 
+    runners = ELASTIC_RUNNERS if args.elastic else RUNNERS
     algos = [a.strip().upper() for a in args.algos.split(",")]
     for algo in algos:
-        if algo not in RUNNERS:
-            print(f"unknown algorithm {algo!r}; choose from {sorted(RUNNERS)}")
+        if algo not in runners:
+            print(f"unknown algorithm {algo!r}; choose from {sorted(runners)}")
             return 2
-    scenarios = (
-        list(DEFAULT_SCENARIOS) if args.scenario == "all" else [args.scenario]
-    )
+    known = ELASTIC_SCENARIOS if args.elastic else SCENARIOS
+    defaults = DEFAULT_ELASTIC_SCENARIOS if args.elastic else DEFAULT_SCENARIOS
+    if args.scenario != "all" and args.scenario not in known:
+        mode = "--elastic" if args.elastic else "non-elastic"
+        print(
+            f"scenario {args.scenario!r} is not a {mode} scenario; "
+            f"choose from {sorted(known)}"
+        )
+        return 2
+    scenarios = list(defaults) if args.scenario == "all" else [args.scenario]
+    # Elastic campaigns need headroom to shrink: default to a 12-rank
+    # grid so a 4x3 layout can lose ranks and still factor usefully.
+    ranks = args.ranks if args.ranks is not None else (12 if args.elastic else 4)
     ds = load(args.dataset, target_edges=args.target_edges, seed=args.seed)
     print(ds.note)
 
     def fresh_engine():
         return make_engine(
             ds,
-            args.ranks,
+            ranks,
             cluster=_CLUSTERS[args.cluster],
             executor=args.executor,
         )
+
+    if args.elastic:
+        report = run_elastic_campaign(
+            fresh_engine,
+            algos=algos,
+            scenarios=scenarios,
+            checkpoint_interval=args.checkpoint_interval,
+            max_retries=args.max_retries,
+        )
+        header = (
+            f"{'scenario':>24} {'algo':>5} {'status':>12} {'values':>7} "
+            f"{'regrids':>8} {'grids':>20} {'regrid[s]':>11} {'frac':>6}"
+        )
+        print(header)
+        print("-" * len(header))
+        for c in report["cases"]:
+            values = (
+                "exact"
+                if c["values_equal"]
+                else ("~ulp" if c["values_close"] else "DIFF")
+            )
+            trail = "->".join(f"{r}x{cc}" for r, cc in c["grid_trail"])
+            print(
+                f"{c['scenario']:>24} {c['algo']:>5} {c['status']:>12} "
+                f"{values:>7} {c['n_regrids']:>8} {trail:>20} "
+                f"{c['regrid_s']:>11.3e} {c['regrid_fraction']:>6.1%}"
+            )
+        print()
+        print(
+            f"{report['total']} cases: "
+            f"{report['total'] - report['failed']} ok, "
+            f"{report['failed']} failed "
+            f"({report['unrecovered']} unrecovered, "
+            f"{report['diverged']} diverged), "
+            f"{report['regrids']} regrids"
+        )
+        if args.out:
+            out = pathlib.Path(args.out)
+            out.parent.mkdir(parents=True, exist_ok=True)
+            out.write_text(json.dumps(report, indent=2))
+            print(f"wrote {out}")
+        return 1 if report["failed"] else 0
 
     report = run_campaign(
         fresh_engine,
@@ -346,14 +403,21 @@ def build_parser() -> argparse.ArgumentParser:
     faults = sub.add_parser(
         "faults", help="fault-injection scenario campaign with recovery checks"
     )
+    from .faults.scenarios import ELASTIC_SCENARIOS as _ELASTIC_SCENARIOS
     from .faults.scenarios import RUNNERS as _FAULT_RUNNERS
     from .faults.scenarios import SCENARIOS as _FAULT_SCENARIOS
 
     faults.add_argument(
+        "--elastic", action="store_true",
+        help="run the elastic (permanent-rank-loss) campaign: crashes "
+             "regrid onto the surviving GPUs instead of resuming in place",
+    )
+    faults.add_argument(
         "--scenario", default="all",
-        choices=["all"] + sorted(_FAULT_SCENARIOS),
+        choices=["all"] + sorted(_FAULT_SCENARIOS) + sorted(_ELASTIC_SCENARIOS),
         help="one scenario, or 'all' for the default campaign "
-             "(excludes the deliberately-failing crash-unrecovered)",
+             "(excludes the deliberately-failing crash-unrecovered); "
+             "with --elastic, one of the elastic scenarios",
     )
     faults.add_argument(
         "--algos", default=",".join(sorted(_FAULT_RUNNERS)),
@@ -361,7 +425,11 @@ def build_parser() -> argparse.ArgumentParser:
              + ", ".join(sorted(_FAULT_RUNNERS)) + ")",
     )
     faults.add_argument("--dataset", default="FR")
-    faults.add_argument("--ranks", type=int, default=4)
+    faults.add_argument(
+        "--ranks", type=int, default=None,
+        help="grid size (default 4; 12 with --elastic so shrinks "
+             "have factor-pair headroom)",
+    )
     faults.add_argument("--cluster", choices=sorted(_CLUSTERS), default="aimos")
     faults.add_argument("--target-edges", type=int, default=1 << 12)
     faults.add_argument("--seed", type=int, default=0)

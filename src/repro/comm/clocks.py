@@ -62,6 +62,10 @@ class VirtualClocks:
         # land in the total only, retry seconds in comm as well — so
         # fault-free runs keep it at exactly zero.
         self.recovery = np.zeros(n_ranks)
+        # Regrid lane: elastic-recovery migration cost (checkpoint
+        # gather, re-partition, scatter onto the surviving grid).  Like
+        # ``recovery`` it annotates time already contained in the total.
+        self.regrid = np.zeros(n_ranks)
         self.iteration_marks: list[PhaseTimes] = []
         self.counter_marks: list["CounterSnapshot"] = []
 
@@ -121,6 +125,24 @@ class VirtualClocks:
         self.comm[idx] += seconds
         self.recovery[idx] += seconds
 
+    def charge_regrid(self, ranks: Sequence[int], seconds: float) -> None:
+        """Charge elastic-migration time (checkpoint gather, graph
+        re-partition, state scatter) to a group.
+
+        Semantically a barrier followed by a bulk data movement on the
+        surviving ranks: the group synchronizes, burns ``seconds``
+        together, and the cost counts as communication time *and* is
+        mirrored into the ``regrid`` lane so timing reports can show
+        how much of a degraded run went to the migration itself.
+        """
+        if seconds < 0:
+            raise ValueError(f"negative regrid time {seconds}")
+        idx = np.fromiter(ranks, dtype=np.int64)
+        t = float(self.clock[idx].max()) + seconds
+        self.clock[idx] = t
+        self.comm[idx] += seconds
+        self.regrid[idx] += seconds
+
     def reset(self) -> None:
         """Zero all clocks and drop marks, preserving identity.
 
@@ -131,6 +153,7 @@ class VirtualClocks:
         self.compute[:] = 0.0
         self.comm[:] = 0.0
         self.recovery[:] = 0.0
+        self.regrid[:] = 0.0
         self.iteration_marks.clear()
         self.counter_marks.clear()
 
@@ -181,6 +204,12 @@ class VirtualClocks:
         """Max-over-ranks recovery time (0.0 in fault-free runs)."""
         return float(self.recovery.max())
 
+    @property
+    def regrid_total(self) -> float:
+        """Max-over-ranks elastic-migration time (0.0 unless the run
+        regridded onto a surviving grid)."""
+        return float(self.regrid.max())
+
     # ------------------------------------------------------------------
     # checkpoint support
     # ------------------------------------------------------------------
@@ -196,6 +225,7 @@ class VirtualClocks:
             "compute": self.compute.copy(),
             "comm": self.comm.copy(),
             "recovery": self.recovery.copy(),
+            "regrid": self.regrid.copy(),
             "iteration_marks": [
                 (m.total, m.compute, m.comm) for m in self.iteration_marks
             ],
@@ -211,9 +241,29 @@ class VirtualClocks:
         self.compute[:] = state["compute"]
         self.comm[:] = state["comm"]
         self.recovery[:] = state["recovery"]
+        # Older snapshots predate the regrid lane.
+        self.regrid[:] = state.get("regrid", 0.0)
         self.iteration_marks[:] = [
             PhaseTimes(*t) for t in state["iteration_marks"]
         ]
         self.counter_marks[:] = [
             CounterSnapshot.from_state(s) for s in state["counter_marks"]
         ]
+
+    @staticmethod
+    def align_state(state: dict, n_ranks: int) -> dict:
+        """Re-shape a :meth:`state_dict` snapshot onto ``n_ranks``.
+
+        Used by elastic recovery when a run migrates to a differently
+        sized grid: the survivors rendezvous at the last BSP boundary,
+        so each lane collapses to its max-over-ranks value replicated
+        across the new rank count (the max is exactly what every
+        report and every subsequent ``sync_group`` observes).  Marks
+        and counter snapshots are rank-agnostic and pass through.
+        """
+        out = dict(state)
+        for lane in ("clock", "compute", "comm", "recovery", "regrid"):
+            arr = np.asarray(state.get(lane, [0.0]), dtype=np.float64)
+            peak = float(arr.max()) if arr.size else 0.0
+            out[lane] = np.full(n_ranks, peak)
+        return out

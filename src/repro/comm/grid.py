@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["Grid2D", "square_grid", "factor_pairs"]
+__all__ = ["Grid2D", "square_grid", "factor_pairs", "squarest_grid"]
 
 
 @dataclass(frozen=True)
@@ -109,3 +109,11 @@ def factor_pairs(n_ranks: int) -> list[Grid2D]:
         if n_ranks % c == 0:
             out.append(Grid2D(R=n_ranks // c, C=c))
     return out
+
+
+def squarest_grid(n_ranks: int) -> Grid2D:
+    """The most square grid for *any* ``n_ranks`` (not just perfect
+    squares): the factor pair minimizing ``|R - C|``, preferring the
+    smaller ``R`` on ties (fewer ranks per row group — the paper's
+    Fig. 7 bias toward cheap row reductions)."""
+    return min(factor_pairs(n_ranks), key=lambda g: (abs(g.R - g.C), g.R))

@@ -111,6 +111,18 @@ class Engine:
         self.grid = grid
         self.cluster = cluster
         self.load_balance = load_balance
+        # Everything (besides graph/grid/executor) a rebuild on a new
+        # grid needs to reproduce this engine's configuration — the
+        # elastic-recovery seam (see rebuild_on_grid).
+        self._rebuild_args = dict(
+            cluster=cluster,
+            distribution=distribution,
+            profile=profile,
+            load_balance=load_balance,
+            memory_scale=memory_scale,
+            enforce_memory=enforce_memory,
+            seed=seed,
+        )
         self.partition: TwoDPartition = partition_2d(
             graph, grid, distribution=distribution, seed=seed
         )
@@ -128,6 +140,10 @@ class Engine:
         self._injector = None
         self._last_injector = None
         self._checkpoints = None
+        # Regrid events recorded by elastic recovery; the list is
+        # *shared* across rebuild_on_grid generations so the final
+        # engine's fault_events tells the whole run's story.
+        self._regrid_events: list[dict] = []
         self.executor: RankExecutor = resolve_executor(executor)
         # Precomputed eagerly (the cluster and grid are immutable) so a
         # concurrent first call cannot race a half-built memo.
@@ -349,9 +365,24 @@ class Engine:
         from ..faults.plan import FaultPlan
         from ..faults.resilient import ResilientCommunicator
 
-        injector = (
-            FaultInjector(faults) if isinstance(faults, FaultPlan) else faults
-        )
+        if isinstance(faults, FaultPlan):
+            bad = [
+                s
+                for s in faults
+                if s.rank is not None and s.rank >= self.n_ranks
+            ]
+            if bad:
+                listing = ", ".join(
+                    f"{s.kind}@superstep {s.superstep} rank={s.rank}"
+                    for s in bad
+                )
+                raise ValueError(
+                    f"fault plan targets ranks outside this engine's "
+                    f"[0, {self.n_ranks}): {listing}"
+                )
+            injector = FaultInjector(faults)
+        else:
+            injector = faults
         self._injector = injector
         self._last_injector = injector
         self.comm = ResilientCommunicator(
@@ -381,9 +412,50 @@ class Engine:
     @property
     def fault_events(self) -> list:
         """Fault events observed by the current (or most recent)
-        injector, as plain dicts — trace rows and reports attach these."""
+        injector, plus any elastic regrid events, as plain dicts —
+        trace rows and reports attach these."""
         inj = self._injector or self._last_injector
-        return [e.as_dict() for e in inj.events] if inj is not None else []
+        events = [e.as_dict() for e in inj.events] if inj is not None else []
+        events.extend(self._regrid_events)
+        events.sort(key=lambda e: e.get("superstep", 0))
+        return events
+
+    def record_regrid(self, event: dict) -> None:
+        """Record one elastic regrid event (see
+        :class:`~repro.faults.elastic.ElasticRecovery`); it surfaces
+        through :attr:`fault_events` and therefore on trace rows."""
+        self._regrid_events.append(event)
+
+    def rebuild_on_grid(self, grid: Grid2D) -> "Engine":
+        """Build a fresh engine for the same graph on a new grid.
+
+        The elastic-recovery seam: the new engine re-partitions the
+        graph with the original distribution/seed/cluster/profile
+        configuration, reuses this engine's executor, carries the
+        communication counters and virtual clocks forward
+        (:meth:`VirtualClocks.align_state` reshapes the per-rank lanes
+        onto the new rank count), and re-attaches the same fault
+        injector and checkpoint manager so remaining planned faults
+        and the checkpoint series follow the run onto the new grid.
+        Regrid-event history is shared, not copied.
+        """
+        new = Engine(
+            self.graph,
+            grid=grid,
+            executor=self.executor,
+            **self._rebuild_args,
+        )
+        new.counters.load_state(self.counters.state_dict())
+        new.clocks.load_state(
+            VirtualClocks.align_state(self.clocks.state_dict(), grid.n_ranks)
+        )
+        if self._injector is not None:
+            max_retries = getattr(self.comm, "max_retries", 4)
+            new.attach_faults(self._injector, max_retries=max_retries)
+        if self._checkpoints is not None:
+            new.attach_checkpoints(self._checkpoints)
+        new._regrid_events = self._regrid_events
+        return new
 
     def superstep_boundary(self, algo: str = "", state: Optional[dict] = None):
         """Mark the end of a BSP superstep.
@@ -466,6 +538,7 @@ class Engine:
         """
         self.counters.reset()
         self.clocks.reset()
+        self._regrid_events.clear()
         if self._injector is not None:
             self._injector.reset()
         if self._checkpoints is not None:
@@ -486,6 +559,7 @@ class Engine:
             comm=snap.comm,
             per_iteration=tuple(deltas),
             recovery=self.clocks.recovery_total,
+            regrid=self.clocks.regrid_total,
         )
 
     def memory_report(self) -> dict[int, float]:

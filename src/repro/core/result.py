@@ -28,6 +28,10 @@ class TimingReport:
     #: checkpoint drains); exactly 0.0 in fault-free, checkpoint-free
     #: runs.  Not an additional lane — already contained in ``total``.
     recovery: float = 0.0
+    #: Elastic-migration overhead (checkpoint gather, re-partition,
+    #: scatter onto the surviving grid); exactly 0.0 unless the run
+    #: regridded.  Also contained in ``total``.
+    regrid: float = 0.0
 
     @property
     def comm_fraction(self) -> float:
@@ -38,6 +42,11 @@ class TimingReport:
     def recovery_fraction(self) -> float:
         """Share of total time spent on fault handling."""
         return self.recovery / self.total if self.total > 0 else 0.0
+
+    @property
+    def regrid_fraction(self) -> float:
+        """Share of total time spent migrating to a surviving grid."""
+        return self.regrid / self.total if self.total > 0 else 0.0
 
     def teps(self, n_edges: int) -> float:
         """Traversed edges per second for an ``n_edges`` input."""

@@ -11,21 +11,66 @@ The robustness layer of the simulator (see ``docs/ROBUSTNESS.md``):
   drop-in decorator over the collectives layer adding checksum
   detection, backoff retries, and failure escalation;
 * :mod:`repro.faults.checkpoint` — superstep checkpoints (in-memory
-  and on-disk) that make crashed runs resumable bit-identically;
-* :mod:`repro.faults.scenarios` — the named scenario campaign behind
-  ``python -m repro faults``.
+  and on-disk, sha256-integrity-checked) that make crashed runs
+  resumable bit-identically;
+* :mod:`repro.faults.elastic` — degraded-mode recovery from
+  *permanent* rank loss: migrate the latest checkpoint onto a smaller
+  surviving grid (or a hot spare) and resume;
+* :mod:`repro.faults.scenarios` — the named scenario campaigns behind
+  ``python -m repro faults`` (and ``--elastic``).
 """
 
-from .checkpoint import CHECKPOINT_SCHEMA, Checkpoint, CheckpointManager
+from .checkpoint import (
+    CHECKPOINT_SCHEMA,
+    Checkpoint,
+    CheckpointCorruption,
+    CheckpointManager,
+)
+from .elastic import (
+    CheckpointLayout,
+    ElasticRecovery,
+    ElasticUnrecoverable,
+    GridPolicy,
+    KeepRows,
+    PreferSquare,
+    SparePool,
+    drive_elastic,
+    gather_checkpoint_state,
+    migrate_checkpoint,
+    resolve_policy,
+)
 from .injector import FaultInjector, RankFailure
 from .plan import FAULT_KINDS, FaultEvent, FaultPlan, FaultSpec
 from .resilient import ResilientCommunicator
-from .scenarios import RUNNERS, SCENARIOS, CaseResult, run_campaign, run_case
+from .scenarios import (
+    ELASTIC_RUNNERS,
+    ELASTIC_SCENARIOS,
+    RUNNERS,
+    SCENARIOS,
+    CaseResult,
+    ElasticCaseResult,
+    run_campaign,
+    run_case,
+    run_elastic_campaign,
+    run_elastic_case,
+)
 
 __all__ = [
     "CHECKPOINT_SCHEMA",
     "Checkpoint",
+    "CheckpointCorruption",
     "CheckpointManager",
+    "CheckpointLayout",
+    "ElasticRecovery",
+    "ElasticUnrecoverable",
+    "GridPolicy",
+    "KeepRows",
+    "PreferSquare",
+    "SparePool",
+    "drive_elastic",
+    "gather_checkpoint_state",
+    "migrate_checkpoint",
+    "resolve_policy",
     "FaultInjector",
     "RankFailure",
     "FAULT_KINDS",
@@ -35,7 +80,12 @@ __all__ = [
     "ResilientCommunicator",
     "RUNNERS",
     "SCENARIOS",
+    "ELASTIC_RUNNERS",
+    "ELASTIC_SCENARIOS",
     "CaseResult",
+    "ElasticCaseResult",
     "run_campaign",
     "run_case",
+    "run_elastic_campaign",
+    "run_elastic_case",
 ]

@@ -27,22 +27,66 @@ show up in timing reports the way they would on the real cluster.
 from __future__ import annotations
 
 import copy
+import hashlib
 import os
 import pickle
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
 import numpy as np
 
-__all__ = ["CHECKPOINT_SCHEMA", "Checkpoint", "CheckpointManager"]
+__all__ = [
+    "CHECKPOINT_SCHEMA",
+    "Checkpoint",
+    "CheckpointCorruption",
+    "CheckpointManager",
+]
 
 #: Format tag embedded in every checkpoint (bump on layout changes).
 CHECKPOINT_SCHEMA = "repro.checkpoint.v1"
 
 
+class CheckpointCorruption(RuntimeError):
+    """A checkpoint file on disk failed its integrity check.
+
+    Raised by :meth:`CheckpointManager.load` instead of letting a
+    truncated or bit-flipped pickle surface as an opaque
+    ``UnpicklingError`` (or, worse, unpickle into garbage).  Carries
+    the offending ``path`` and, for digest mismatches, the
+    ``expected``/``actual`` sha256 hex digests.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        expected: Optional[str] = None,
+        actual: Optional[str] = None,
+        detail: str = "",
+    ):
+        self.path = path
+        self.expected = expected
+        self.actual = actual
+        if expected is not None and actual is not None:
+            msg = (
+                f"checkpoint {path} is corrupt: sha256 mismatch "
+                f"(expected {expected}, actual {actual})"
+            )
+        else:
+            msg = f"checkpoint {path} is corrupt: {detail or 'unreadable'}"
+        super().__init__(msg)
+
+
 @dataclass
 class Checkpoint:
-    """One recoverable snapshot at a superstep boundary."""
+    """One recoverable snapshot at a superstep boundary.
+
+    The partition-layout fields (``grid``, ``perm``, ``localmaps``)
+    record the exact 2D layout the per-rank ``states`` were captured
+    under — elastic recovery migrates a checkpoint onto a different
+    surviving grid using *the checkpoint's own* layout, which may
+    differ from the engine's current one after a previous regrid.
+    """
 
     superstep: int
     algo: str
@@ -50,6 +94,12 @@ class Checkpoint:
     counters: dict
     clocks: dict
     algo_state: dict[str, Any] = field(default_factory=dict)
+    #: ``(R, C)`` of the grid the states were captured on.
+    grid: Optional[tuple[int, int]] = None
+    #: Original-GID -> relabeled-GID permutation of that layout.
+    perm: Optional[np.ndarray] = None
+    #: Per-rank :class:`~repro.graph.localmap.LocalMap` of that layout.
+    localmaps: Optional[list] = None
     schema: str = CHECKPOINT_SCHEMA
 
     @property
@@ -128,6 +178,7 @@ class CheckpointManager:
             for rank, per_rank in enumerate(states):
                 nbytes = sum(a.nbytes for a in per_rank.values())
                 engine.clocks.add_stall(rank, nbytes / self.checkpoint_bw)
+        part = engine.partition
         ckpt = Checkpoint(
             superstep=superstep,
             algo=algo,
@@ -137,15 +188,46 @@ class CheckpointManager:
             # deepcopy so later loop mutation can't reach into history;
             # loop state is small (flags, counters, policy objects)
             algo_state=copy.deepcopy(state),
+            grid=(engine.grid.R, engine.grid.C),
+            perm=part.perm.copy(),
+            localmaps=[blk.localmap for blk in part.blocks],
         )
         self.checkpoints.append(ckpt)
         self.saves += 1
         if self.directory is not None:
-            path = os.path.join(self.directory, f"ckpt_{superstep:06d}.pkl")
-            with open(path, "wb") as fh:
-                pickle.dump(ckpt, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            self._write(ckpt)
         self._prune()
         return ckpt
+
+    def _write(self, ckpt: Checkpoint) -> str:
+        """Pickle one checkpoint to disk inside an integrity envelope.
+
+        The envelope embeds the sha256 of the pickled checkpoint bytes
+        so :meth:`load` can tell a bit-flipped or truncated file from a
+        healthy one instead of unpickling garbage.
+        """
+        payload = pickle.dumps(ckpt, protocol=pickle.HIGHEST_PROTOCOL)
+        envelope = {
+            "schema": CHECKPOINT_SCHEMA,
+            "sha256": hashlib.sha256(payload).hexdigest(),
+            "payload": payload,
+        }
+        path = os.path.join(self.directory, f"ckpt_{ckpt.superstep:06d}.pkl")
+        with open(path, "wb") as fh:
+            pickle.dump(envelope, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        return path
+
+    def adopt(self, ckpt: Checkpoint) -> None:
+        """Replace the series with an externally produced checkpoint.
+
+        Elastic recovery migrates the latest checkpoint onto a new
+        grid and hands it back here; older same-run checkpoints
+        describe a layout that no longer exists, so the series resets
+        to exactly this one (written to disk too, when configured).
+        """
+        self.checkpoints = [ckpt]
+        if self.directory is not None:
+            self._write(ckpt)
 
     def _prune(self) -> None:
         while len(self.checkpoints) > self.keep:
@@ -172,9 +254,41 @@ class CheckpointManager:
 
     @staticmethod
     def load(path: str) -> Checkpoint:
-        """Load one pickled checkpoint from disk."""
+        """Load one pickled checkpoint from disk.
+
+        Verifies the integrity envelope before unpickling the payload:
+        any truncation, bit flip, or non-envelope content raises
+        :class:`CheckpointCorruption` (never a raw pickle error).  A
+        healthy payload with the wrong schema tag still raises
+        ``ValueError`` — that is a version problem, not damage.
+        """
         with open(path, "rb") as fh:
-            ckpt = pickle.load(fh)
+            data = fh.read()
+        try:
+            envelope = pickle.loads(data)
+        except Exception as exc:
+            raise CheckpointCorruption(
+                path, detail=f"unreadable envelope ({exc})"
+            ) from exc
+        if (
+            not isinstance(envelope, dict)
+            or "sha256" not in envelope
+            or "payload" not in envelope
+        ):
+            raise CheckpointCorruption(
+                path, detail="not a checkpoint integrity envelope"
+            )
+        actual = hashlib.sha256(envelope["payload"]).hexdigest()
+        if actual != envelope["sha256"]:
+            raise CheckpointCorruption(
+                path, expected=envelope["sha256"], actual=actual
+            )
+        try:
+            ckpt = pickle.loads(envelope["payload"])
+        except Exception as exc:  # pragma: no cover - digest catches this
+            raise CheckpointCorruption(
+                path, detail=f"payload failed to unpickle ({exc})"
+            ) from exc
         if not isinstance(ckpt, Checkpoint):
             raise ValueError(f"{path} does not contain a Checkpoint")
         if ckpt.schema != CHECKPOINT_SCHEMA:
@@ -186,7 +300,12 @@ class CheckpointManager:
 
     @classmethod
     def latest_on_disk(cls, directory: str) -> Optional[Checkpoint]:
-        """Load the newest ``ckpt_*.pkl`` in ``directory`` (or None)."""
+        """Load the newest healthy ``ckpt_*.pkl`` in ``directory``.
+
+        Corrupt files are skipped with a warning (newest-first, so a
+        partially written final checkpoint falls back to its
+        predecessor); returns ``None`` when nothing healthy remains.
+        """
         try:
             names = sorted(
                 n
@@ -195,6 +314,10 @@ class CheckpointManager:
             )
         except FileNotFoundError:
             return None
-        if not names:
-            return None
-        return cls.load(os.path.join(directory, names[-1]))
+        for name in reversed(names):
+            path = os.path.join(directory, name)
+            try:
+                return cls.load(path)
+            except CheckpointCorruption as exc:
+                warnings.warn(f"skipping corrupt checkpoint: {exc}")
+        return None

@@ -1,0 +1,551 @@
+"""Elastic degraded-mode recovery: regrid onto the surviving GPUs.
+
+PR 4's recovery machinery resumes a crashed run *on the same grid* —
+the crashed rank is modeled as replaced.  At the paper's scale
+(hundreds of GPUs, multi-hour WDC12 runs) a replacement is not always
+available: the honest degraded mode is to **continue the job on fewer
+ranks**.  This module implements that path:
+
+1. the latest :class:`~repro.faults.checkpoint.Checkpoint` is opened
+   under *its own* recorded 2D layout (grid, permutation, local maps)
+   and every per-rank state array is gathered back into a global
+   original-GID-order vector — the checkpoint-time analogue of
+   :meth:`TwoDPartition.gather_row_state`;
+2. a pluggable :class:`GridPolicy` chooses the surviving grid
+   ``R'×C'`` from :func:`~repro.comm.grid.factor_pairs` over the
+   remaining ranks (or keeps the grid, consuming a hot spare);
+3. :meth:`Engine.rebuild_on_grid` re-partitions the graph and carries
+   counters, clocks, the fault injector, and the checkpoint manager
+   onto the new grid;
+4. the global vectors are re-scattered, the algorithm loop state is
+   translated between the two GID relabelings (a bijection — covered
+   by a Hypothesis round-trip property test), and the run resumes
+   from the checkpointed superstep via the ordinary ``resume=True``
+   path.
+
+The migration is charged to a dedicated ``regrid`` clock lane
+(:meth:`VirtualClocks.charge_regrid`): one checkpoint-sized AllGatherv
+to reassemble global state, one edge-list movement to re-partition,
+and one scatter of the new per-rank windows, all at ``regrid_bw``.
+
+Exactness: every monotone (min/max-reducing) algorithm — bfs, cc,
+sssp, label propagation, pointer jumping, and min/max vertex programs
+— finishes with values **bit-identical** to the fault-free run, on any
+surviving grid, because min/max reductions are insensitive to the
+operand grouping a new grid induces.  PageRank's floating-point *sum*
+reductions are grouping-sensitive: values are bit-identical on the
+spare-pool (same-grid) path and agree to within ~1 ulp after a shrink
+(see docs/ROBUSTNESS.md).
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Callable, Optional, Union
+
+import numpy as np
+
+from ..comm.clocks import VirtualClocks
+from ..comm.grid import Grid2D, squarest_grid
+from .checkpoint import Checkpoint
+from .injector import RankFailure
+
+__all__ = [
+    "GridPolicy",
+    "PreferSquare",
+    "KeepRows",
+    "SparePool",
+    "resolve_policy",
+    "ElasticUnrecoverable",
+    "ElasticRecovery",
+    "CheckpointLayout",
+    "gather_checkpoint_state",
+    "migrate_checkpoint",
+    "drive_elastic",
+]
+
+
+# ----------------------------------------------------------------------
+# grid policies
+# ----------------------------------------------------------------------
+class GridPolicy:
+    """Chooses the post-failure grid.
+
+    ``choose`` receives the failed engine's grid and the number of
+    surviving ranks; it returns the new :class:`Grid2D`, or ``None``
+    to keep the current grid (a hot spare replaces the dead rank).
+    """
+
+    name = "grid-policy"
+
+    def choose(self, grid: Grid2D, survivors: int) -> Optional[Grid2D]:
+        raise NotImplementedError
+
+
+class PreferSquare(GridPolicy):
+    """Use every survivor on the most square factor pair (the paper's
+    default layout preference — square grids minimize the larger of
+    the two group sizes)."""
+
+    name = "prefer-square"
+
+    def choose(self, grid: Grid2D, survivors: int) -> Optional[Grid2D]:
+        return squarest_grid(survivors)
+
+
+class KeepRows(GridPolicy):
+    """Preserve the number of block-rows ``C`` (and therefore the
+    row-group vertex ranges), shrinking each row group to
+    ``R' = survivors // C`` ranks.
+
+    Losing one rank never divides evenly (``C`` divides ``p`` so it
+    cannot divide ``p - 1``), so this policy deliberately idles the
+    ``survivors mod C`` leftover ranks — the trade is stable vertex
+    ownership against full utilization.  When fewer than ``C``
+    survivors remain it falls back to :class:`PreferSquare`.
+    """
+
+    name = "keep-rows"
+
+    def choose(self, grid: Grid2D, survivors: int) -> Optional[Grid2D]:
+        R = survivors // grid.C
+        if R >= 1:
+            return Grid2D(R=R, C=grid.C)
+        return squarest_grid(survivors)
+
+
+class SparePool(GridPolicy):
+    """Hold ``spares`` hot standby GPUs: while the pool lasts the grid
+    is unchanged (the spare adopts the dead rank's checkpointed state);
+    once exhausted, defer to ``fallback`` (default
+    :class:`PreferSquare`)."""
+
+    name = "spare-pool"
+
+    def __init__(self, spares: int = 1, fallback: Optional[GridPolicy] = None):
+        if spares < 0:
+            raise ValueError(f"spares must be >= 0, got {spares}")
+        self.spares = spares
+        self.fallback = fallback if fallback is not None else PreferSquare()
+
+    def choose(self, grid: Grid2D, survivors: int) -> Optional[Grid2D]:
+        if self.spares > 0:
+            self.spares -= 1
+            return None
+        return self.fallback.choose(grid, survivors)
+
+
+def resolve_policy(spec: Union[GridPolicy, str]) -> GridPolicy:
+    """Resolve a policy spec: a :class:`GridPolicy` instance, or one of
+    ``"prefer-square"``, ``"keep-rows"``, ``"spare-pool"`` /
+    ``"spare-pool:N"`` (a pool of N spares)."""
+    if isinstance(spec, GridPolicy):
+        return spec
+    if not isinstance(spec, str):
+        raise ValueError(
+            f"grid policy must be a GridPolicy or a string spec, "
+            f"got {type(spec).__name__}: {spec!r}"
+        )
+    name, _, arg = spec.partition(":")
+    if name == "prefer-square" and not arg:
+        return PreferSquare()
+    if name == "keep-rows" and not arg:
+        return KeepRows()
+    if name == "spare-pool":
+        if not arg:
+            return SparePool()
+        try:
+            spares = int(arg)
+        except ValueError:
+            raise ValueError(
+                f"spare-pool size must be an integer, got {spec!r}"
+            ) from None
+        return SparePool(spares=spares)
+    raise ValueError(
+        f"unknown grid policy {spec!r}; choose from 'prefer-square', "
+        f"'keep-rows', 'spare-pool', 'spare-pool:N'"
+    )
+
+
+class ElasticUnrecoverable(RuntimeError):
+    """Elastic recovery cannot continue the run (no checkpoint, no
+    survivors, or the regrid budget is exhausted)."""
+
+
+# ----------------------------------------------------------------------
+# checkpoint layout and state migration
+# ----------------------------------------------------------------------
+class CheckpointLayout:
+    """The 2D layout a checkpoint's states were captured under.
+
+    A thin read-only view over the checkpoint's recorded grid,
+    permutation, and per-rank local maps — deliberately independent of
+    any live engine, because after a previous regrid the engine's
+    layout no longer matches an older checkpoint's.
+    """
+
+    def __init__(self, ckpt: Checkpoint):
+        if ckpt.grid is None or ckpt.perm is None or ckpt.localmaps is None:
+            raise ElasticUnrecoverable(
+                "checkpoint predates layout recording (no grid/perm/"
+                "localmaps); elastic recovery needs a layout-bearing "
+                "checkpoint"
+            )
+        self.grid = Grid2D(R=ckpt.grid[0], C=ckpt.grid[1])
+        self.perm = np.asarray(ckpt.perm)
+        self.localmaps = list(ckpt.localmaps)
+        self.n_vertices = int(self.perm.shape[0])
+        inv = np.empty(self.n_vertices, dtype=np.int64)
+        inv[self.perm] = np.arange(self.n_vertices, dtype=np.int64)
+        self._inv_perm = inv
+
+    def original_gid(self, relabeled) -> np.ndarray:
+        return self._inv_perm[np.asarray(relabeled)]
+
+    def relabeled_gid(self, original) -> np.ndarray:
+        return self.perm[np.asarray(original)]
+
+
+def gather_checkpoint_state(ckpt: Checkpoint) -> dict[str, np.ndarray]:
+    """Reconstruct every named state as a global original-order vector.
+
+    The checkpoint-time analogue of
+    :meth:`~repro.graph.partition.twod.TwoDPartition.gather_row_state`:
+    read the row window of the first rank of each row group (row
+    groups are consistent at a superstep boundary) and undo the GID
+    relabeling via the recorded permutation.
+    """
+    layout = CheckpointLayout(ckpt)
+    names = sorted({name for per_rank in ckpt.states for name in per_rank})
+    out: dict[str, np.ndarray] = {}
+    for name in names:
+        rel: Optional[np.ndarray] = None
+        for id_r in range(layout.grid.C):
+            rank = layout.grid.rank_of(id_r, 0)
+            lm = layout.localmaps[rank]
+            arr = ckpt.states[rank].get(name)
+            if arr is None:
+                raise ValueError(
+                    f"state {name!r} missing on rank {rank} of the "
+                    f"checkpoint; cannot gather a partial state"
+                )
+            if arr.shape[0] != lm.n_total:
+                raise ValueError(
+                    f"state {name!r} on rank {rank} has length "
+                    f"{arr.shape[0]}, expected the layout's N_T="
+                    f"{lm.n_total}; only per-vertex states migrate"
+                )
+            if rel is None:
+                rel = np.zeros(layout.n_vertices, dtype=arr.dtype)
+            rel[lm.row_start : lm.row_stop] = arr[lm.row_slice]
+        assert rel is not None
+        out[name] = rel[layout.perm]
+    return out
+
+
+def _queue_to_global_mask(
+    queues: list[np.ndarray], layout: CheckpointLayout
+) -> np.ndarray:
+    """Per-rank row-LID queues -> original-order membership mask."""
+    mask = np.zeros(layout.n_vertices, dtype=bool)
+    for rank, lids in enumerate(queues):
+        lids = np.asarray(lids, dtype=np.int64)
+        if lids.size == 0:
+            continue
+        lm = layout.localmaps[rank]
+        rel = lids - lm.row_offset + lm.row_start
+        mask[layout.original_gid(rel)] = True
+    return mask
+
+
+def _global_mask_to_queues(mask: np.ndarray, part) -> list[np.ndarray]:
+    """Original-order membership mask -> per-rank row-LID queues."""
+    rel = part.to_relabeled_order(mask)
+    out = []
+    for blk in part.blocks:
+        lm = blk.localmap
+        hits = np.nonzero(rel[lm.row_start : lm.row_stop])[0]
+        out.append((hits + lm.row_offset).astype(np.int64))
+    return out
+
+
+def _migrate_policy(policy, new_engine):
+    """Rebuild a SwitchPolicy against the new grid, preserving the
+    one-way dense->sparse switch state."""
+    from ..patterns.switching import SwitchPolicy
+
+    fresh = SwitchPolicy(
+        n_vertices=policy.n_vertices,
+        grid=new_engine.grid,
+        mode=policy.mode,
+        threshold_factor=policy.threshold_factor,
+    )
+    fresh._sparse_now = policy._sparse_now
+    return fresh
+
+
+def _migrate_pointer_jump(
+    state: dict, layout: CheckpointLayout, new_engine
+) -> dict:
+    """Translate the pointer-jumping home tables between relabelings.
+
+    Home sets tile the vertex space (each vertex has exactly one rank
+    owning it in both row and column range), and ``home_parent``
+    entries are GID *values*, so both the positions and the stored
+    pointers must be re-mapped.
+    """
+    n = layout.n_vertices
+    parent_orig = np.empty(n, dtype=np.int64)
+    conv_orig = np.zeros(n, dtype=bool)
+    for rank, gids in state["home_gids"].items():
+        og = layout.original_gid(gids)
+        parent_orig[og] = layout.original_gid(state["home_parent"][rank])
+        conv_orig[og] = state["converged"][rank]
+
+    part = new_engine.partition
+    home_gids: dict[int, np.ndarray] = {}
+    home_parent: dict[int, np.ndarray] = {}
+    converged: dict[int, np.ndarray] = {}
+    for blk in part.blocks:
+        lm = blk.localmap
+        lo = max(lm.row_start, lm.col_start)
+        hi = min(lm.row_stop, lm.col_stop)
+        gids = np.arange(lo, max(lo, hi), dtype=np.int64)
+        og = part.original_gid(gids)
+        home_gids[blk.rank] = gids
+        home_parent[blk.rank] = part.perm[parent_orig[og]]
+        converged[blk.rank] = conv_orig[og].copy()
+    out = dict(state)
+    out["home_gids"] = home_gids
+    out["home_parent"] = home_parent
+    out["converged"] = converged
+    return out
+
+
+def _migrate_algo_state(
+    state: dict[str, Any], layout: CheckpointLayout, new_engine
+) -> dict[str, Any]:
+    """Translate an algorithm's loop state onto the new layout."""
+    if "home_gids" in state:
+        return _migrate_pointer_jump(state, layout, new_engine)
+    out: dict[str, Any] = {}
+    for key, value in state.items():
+        if key in ("frontier", "active") and isinstance(value, list):
+            mask = _queue_to_global_mask(value, layout)
+            out[key] = _global_mask_to_queues(mask, new_engine.partition)
+        elif key == "policy" and value is not None:
+            out[key] = _migrate_policy(value, new_engine)
+        else:
+            out[key] = copy.deepcopy(value)
+    return out
+
+
+def migrate_checkpoint(
+    ckpt: Checkpoint, new_engine, regrid_bw: float = 12e9
+) -> tuple[Checkpoint, float]:
+    """Re-express a checkpoint on ``new_engine``'s grid.
+
+    Returns the migrated checkpoint and the charged migration time.
+    The cost model is one checkpoint-sized AllGatherv (global state
+    reassembly), one edge-list movement (re-partition), and one
+    scatter of the new per-rank windows, all at ``regrid_bw`` bytes/s.
+    The time is charged into the *migrated checkpoint's* clock state
+    (synchronizing all new ranks), so the subsequent
+    ``Engine.restore`` keeps it — exactly how checkpoint drains embed
+    their own cost.  Communication counters are deliberately left
+    untouched: like retries, migration traffic describes the weather,
+    not the algorithm.
+    """
+    layout = CheckpointLayout(ckpt)
+    part = new_engine.partition
+    if part.n_vertices != layout.n_vertices:
+        raise ValueError(
+            f"cannot migrate a checkpoint of {layout.n_vertices} vertices "
+            f"onto a partition of {part.n_vertices}"
+        )
+    global_state = gather_checkpoint_state(ckpt)
+
+    new_states: list[dict[str, np.ndarray]] = [
+        {
+            name: part.scatter_global(vec, rank)
+            for name, vec in global_state.items()
+        }
+        for rank in range(new_engine.n_ranks)
+    ]
+
+    gather_bytes = sum(vec.nbytes for vec in global_state.values())
+    edge_bytes = new_engine.graph.n_edges * 16  # two int64 endpoints
+    if part.weighted:
+        edge_bytes += new_engine.graph.n_edges * 8
+    scatter_bytes = sum(
+        arr.nbytes for per_rank in new_states for arr in per_rank.values()
+    )
+    cost_s = (gather_bytes + edge_bytes + scatter_bytes) / regrid_bw
+
+    clocks = VirtualClocks(new_engine.n_ranks)
+    clocks.load_state(
+        VirtualClocks.align_state(ckpt.clocks, new_engine.n_ranks)
+    )
+    clocks.charge_regrid(range(new_engine.n_ranks), cost_s)
+
+    migrated = Checkpoint(
+        superstep=ckpt.superstep,
+        algo=ckpt.algo,
+        states=new_states,
+        counters=copy.deepcopy(ckpt.counters),
+        clocks=clocks.state_dict(),
+        algo_state=_migrate_algo_state(ckpt.algo_state, layout, new_engine),
+        grid=(new_engine.grid.R, new_engine.grid.C),
+        perm=part.perm.copy(),
+        localmaps=[blk.localmap for blk in part.blocks],
+    )
+    return migrated, cost_s
+
+
+# ----------------------------------------------------------------------
+# the recovery driver
+# ----------------------------------------------------------------------
+class ElasticRecovery:
+    """Policy object turning unrecoverable crashes into regrids.
+
+    Parameters
+    ----------
+    policy:
+        A :class:`GridPolicy` or string spec (see
+        :func:`resolve_policy`).
+    regrid_bw:
+        Modeled migration bandwidth in bytes/s (default 12 GB/s,
+        matching the checkpoint drain bandwidth).
+    max_regrids:
+        Give up (raise :class:`ElasticUnrecoverable`) after this many
+        regrids — a cascading-failure brake.
+    """
+
+    def __init__(
+        self,
+        policy: Union[GridPolicy, str] = "prefer-square",
+        regrid_bw: float = 12e9,
+        max_regrids: int = 4,
+    ):
+        if regrid_bw <= 0:
+            raise ValueError(f"regrid_bw must be > 0, got {regrid_bw}")
+        if max_regrids < 1:
+            raise ValueError(f"max_regrids must be >= 1, got {max_regrids}")
+        self.policy = resolve_policy(policy)
+        self.regrid_bw = regrid_bw
+        self.max_regrids = max_regrids
+        self.regrids = 0
+        self.events: list[dict] = []
+
+    def recover(self, engine, failure: RankFailure):
+        """Handle one permanent rank loss; returns the engine to resume
+        on (a rebuilt engine, or the same one when a spare absorbed the
+        loss).  The engine's checkpoint manager is left holding the
+        migrated checkpoint, ready for ``resume=True``."""
+        mgr = engine.checkpoints
+        if mgr is None or mgr.latest() is None:
+            raise ElasticUnrecoverable(
+                f"rank {failure.rank} lost at superstep {failure.superstep} "
+                f"with no checkpoint to migrate from"
+            ) from failure
+        if self.regrids >= self.max_regrids:
+            raise ElasticUnrecoverable(
+                f"regrid budget exhausted ({self.max_regrids}); rank "
+                f"{failure.rank} lost at superstep {failure.superstep}"
+            ) from failure
+        survivors = engine.n_ranks - 1
+        if survivors < 1:
+            raise ElasticUnrecoverable(
+                "no surviving ranks to regrid onto"
+            ) from failure
+
+        ckpt = mgr.latest()
+        new_grid = self.policy.choose(engine.grid, survivors)
+        if new_grid is None:
+            # Spare path: the grid is unchanged; charge re-materializing
+            # the dead rank's state onto the spare (all ranks wait at
+            # the BSP boundary while it catches up).
+            dead = ckpt.states[failure.rank] if failure.rank is not None else {}
+            cost_s = sum(a.nbytes for a in dead.values()) / self.regrid_bw
+            migrated = copy.deepcopy(ckpt)
+            clocks = VirtualClocks(engine.n_ranks)
+            clocks.load_state(migrated.clocks)
+            clocks.charge_regrid(range(engine.n_ranks), cost_s)
+            migrated.clocks = clocks.state_dict()
+            new_engine = engine
+            spare = True
+        else:
+            if new_grid.n_ranks > survivors:
+                raise ElasticUnrecoverable(
+                    f"policy {self.policy.name!r} chose a "
+                    f"{new_grid.n_ranks}-rank grid with only {survivors} "
+                    f"survivors"
+                ) from failure
+            new_engine = engine.rebuild_on_grid(new_grid)
+            migrated, cost_s = migrate_checkpoint(
+                ckpt, new_engine, regrid_bw=self.regrid_bw
+            )
+            spare = False
+        mgr.adopt(migrated)
+        self.regrids += 1
+        event = {
+            "kind": "regrid",
+            "rank": failure.rank,
+            "superstep": failure.superstep,
+            "collective": failure.collective,
+            "retries": failure.retries,
+            "recovery_s": cost_s,
+            "detected": True,
+            "fatal": False,
+            "from_grid": (engine.grid.R, engine.grid.C),
+            "to_grid": (new_engine.grid.R, new_engine.grid.C),
+            "policy": self.policy.name,
+            "spare": spare,
+        }
+        new_engine.record_regrid(event)
+        self.events.append(event)
+        return new_engine
+
+
+def _as_recovery(elastic) -> ElasticRecovery:
+    if isinstance(elastic, ElasticRecovery):
+        return elastic
+    if elastic is True:
+        return ElasticRecovery()
+    return ElasticRecovery(policy=elastic)
+
+
+def drive_elastic(
+    runner: Callable[[Any, bool], Any],
+    engine,
+    elastic,
+    resume: bool = False,
+):
+    """Run ``runner(engine, resume)`` under an elastic-recovery loop.
+
+    Every :class:`RankFailure` that escapes the resilient
+    communicator's retry budget becomes a regrid: the latest
+    checkpoint is migrated onto the surviving grid and the runner is
+    re-entered with ``resume=True``.  Returns the runner's result with
+    ``extra["elastic"]`` describing what happened — including the
+    final engine, which holds the post-regrid clocks, counters, and
+    trace state (the original engine is stale after a shrink).
+    """
+    recovery = _as_recovery(elastic)
+    current = engine
+    use_resume = resume
+    while True:
+        try:
+            result = runner(current, use_resume)
+            break
+        except RankFailure as failure:
+            current = recovery.recover(current, failure)
+            use_resume = True
+    result.extra["elastic"] = {
+        "engine": current,
+        "regrids": recovery.regrids,
+        "events": list(recovery.events),
+        "final_grid": (current.grid.R, current.grid.C),
+        "policy": recovery.policy.name,
+    }
+    return result

@@ -174,6 +174,30 @@ class FaultPlan:
         more than a couple makes a scenario unfinishable even with
         checkpoints at every boundary.
         """
+        if n_supersteps < 0:
+            raise ValueError(
+                f"n_supersteps must be >= 0, got {n_supersteps}"
+            )
+        if n_ranks < 1:
+            raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
+        rates = {
+            "crash_rate": crash_rate,
+            "transient_rate": transient_rate,
+            "corruption_rate": corruption_rate,
+            "straggler_rate": straggler_rate,
+        }
+        for name, rate in rates.items():
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(
+                    f"{name} must be a probability in [0, 1], got {rate}"
+                )
+        if straggler_rate > 0 and straggler_delay_s <= 0:
+            raise ValueError(
+                f"straggler_delay_s must be > 0 when straggler_rate > 0, "
+                f"got {straggler_delay_s}"
+            )
+        if max_crashes < 0:
+            raise ValueError(f"max_crashes must be >= 0, got {max_crashes}")
         rng = np.random.default_rng(seed)
         specs: list[FaultSpec] = []
         crashes = 0

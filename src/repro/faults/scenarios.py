@@ -39,10 +39,23 @@ import numpy as np
 
 from ..algorithms import bfs, connected_components, pagerank
 from .checkpoint import CheckpointManager
+from .elastic import ElasticRecovery, ElasticUnrecoverable
 from .injector import RankFailure
 from .plan import FaultPlan, FaultSpec
 
-__all__ = ["SCENARIOS", "RUNNERS", "CaseResult", "run_case", "run_campaign"]
+__all__ = [
+    "SCENARIOS",
+    "RUNNERS",
+    "CaseResult",
+    "run_case",
+    "run_campaign",
+    "ELASTIC_SCENARIOS",
+    "DEFAULT_ELASTIC_SCENARIOS",
+    "ELASTIC_RUNNERS",
+    "ElasticCaseResult",
+    "run_elastic_case",
+    "run_elastic_campaign",
+]
 
 #: Named fault plans.  Supersteps are 1-based; ranks assume at least a
 #: 2x2 grid.  ``crash-unrecovered`` is the deliberate-failure scenario
@@ -207,6 +220,235 @@ def run_case(
         fault_events=engine.fault_events,
         recovery_s=engine.clocks.recovery_total,
     )
+
+
+#: Graded elastic scenarios: each names a fault plan, the grid policy
+#: handling it, and how many regrids a healthy recovery performs.
+#: Supersteps are 1-based; ranks assume a grid of at least 4 ranks.
+ELASTIC_SCENARIOS: dict[str, dict] = {
+    # One permanent loss mid-run; all survivors regrid to the most
+    # square factor pair.
+    "crash-shrink": dict(
+        plan=FaultPlan([FaultSpec("crash", 2, rank=1)]),
+        policy="prefer-square",
+        expected_regrids=1,
+    ),
+    # Same loss absorbed by a hot spare: the grid never changes, so
+    # even PageRank stays bit-exact.
+    "crash-spare": dict(
+        plan=FaultPlan([FaultSpec("crash", 2, rank=1)]),
+        policy="spare-pool:1",
+        expected_regrids=1,
+    ),
+    # Two losses in consecutive supersteps: the second crash hits the
+    # already-shrunk grid, exercising regrid-of-a-regridded layout.
+    "double-crash-cascade": dict(
+        plan=FaultPlan(
+            [FaultSpec("crash", 2, rank=1), FaultSpec("crash", 3, rank=2)]
+        ),
+        policy="prefer-square",
+        expected_regrids=2,
+    ),
+    # Loss close to convergence: almost all work is done, so the
+    # regrid cost dominates the remaining compute.
+    "crash-at-convergence-tail": dict(
+        plan=FaultPlan([FaultSpec("crash", 3, rank=2)]),
+        policy="prefer-square",
+        expected_regrids=1,
+    ),
+}
+
+DEFAULT_ELASTIC_SCENARIOS = tuple(ELASTIC_SCENARIOS)
+
+#: Elastic-capable runners: ``runner(engine, elastic)`` with
+#: ``elastic=None`` meaning a plain (reference) run.
+ELASTIC_RUNNERS: dict[str, Callable[..., Any]] = {
+    "BFS": lambda engine, elastic: bfs(engine, root=0, elastic=elastic),
+    "PR": lambda engine, elastic: pagerank(
+        engine, iterations=10, elastic=elastic
+    ),
+    "CC": lambda engine, elastic: connected_components(
+        engine, elastic=elastic
+    ),
+}
+
+
+@dataclass
+class ElasticCaseResult:
+    """Outcome of one (elastic scenario, algorithm) pair."""
+
+    scenario: str
+    algo: str
+    status: str  # regridded | completed | unrecovered | diverged
+    values_equal: Optional[bool] = None
+    values_close: Optional[bool] = None
+    n_regrids: int = 0
+    expected_regrids: Optional[int] = None
+    grid_trail: list = field(default_factory=list)
+    policy: str = ""
+    regrid_s: float = 0.0
+    regrid_fraction: float = 0.0
+    fault_events: list[dict] = field(default_factory=list)
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        if self.status not in ("regridded", "completed"):
+            return False
+        if (
+            self.expected_regrids is not None
+            and self.n_regrids != self.expected_regrids
+        ):
+            return False
+        return True
+
+    def as_dict(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "algo": self.algo,
+            "status": self.status,
+            "ok": self.ok,
+            "values_equal": self.values_equal,
+            "values_close": self.values_close,
+            "n_regrids": self.n_regrids,
+            "expected_regrids": self.expected_regrids,
+            "grid_trail": [list(g) for g in self.grid_trail],
+            "policy": self.policy,
+            "regrid_s": self.regrid_s,
+            "regrid_fraction": self.regrid_fraction,
+            "fault_events": self.fault_events,
+            "error": self.error,
+        }
+
+
+def run_elastic_case(
+    make_engine: Callable[[], Any],
+    algo: str,
+    scenario: str,
+    plan: Optional[FaultPlan] = None,
+    policy: Optional[str] = None,
+    checkpoint_interval: int = 1,
+    max_retries: int = 2,
+    expected_regrids: Optional[int] = None,
+) -> ElasticCaseResult:
+    """Run one elastic (scenario, algorithm) pair and grade the outcome.
+
+    The faulted run must survive every planned permanent loss by
+    regridding and finish with values matching the fault-free
+    reference: bit-identical for the monotone algorithms, and for
+    PageRank bit-identical on spare-pool recoveries / within ~1 ulp
+    (``allclose`` at ``rtol=1e-9``) after a shrink — PageRank's sum
+    reductions are sensitive to the operand grouping a new grid
+    induces (see ``docs/ROBUSTNESS.md``).
+    """
+    if algo not in ELASTIC_RUNNERS:
+        raise ValueError(
+            f"unknown algorithm {algo!r}; choose from {sorted(ELASTIC_RUNNERS)}"
+        )
+    if plan is None or policy is None:
+        if scenario not in ELASTIC_SCENARIOS:
+            raise ValueError(
+                f"unknown elastic scenario {scenario!r}; choose from "
+                f"{sorted(ELASTIC_SCENARIOS)}"
+            )
+        spec = ELASTIC_SCENARIOS[scenario]
+        plan = plan if plan is not None else spec["plan"]
+        policy = policy if policy is not None else spec["policy"]
+        if expected_regrids is None:
+            expected_regrids = spec.get("expected_regrids")
+    runner = ELASTIC_RUNNERS[algo]
+
+    ref_engine = make_engine()
+    ref_engine.attach_checkpoints(CheckpointManager(interval=checkpoint_interval))
+    ref = runner(ref_engine, None)
+
+    engine = make_engine()
+    engine.attach_checkpoints(CheckpointManager(interval=checkpoint_interval))
+    engine.attach_faults(plan, max_retries=max_retries)
+    recovery = ElasticRecovery(policy=policy)
+    start_grid = (engine.grid.R, engine.grid.C)
+
+    try:
+        result = runner(engine, recovery)
+    except ElasticUnrecoverable as exc:
+        return ElasticCaseResult(
+            scenario=scenario,
+            algo=algo,
+            status="unrecovered",
+            n_regrids=recovery.regrids,
+            expected_regrids=expected_regrids,
+            grid_trail=[start_grid]
+            + [e["to_grid"] for e in recovery.events],
+            policy=recovery.policy.name,
+            fault_events=list(recovery.events),
+            error=str(exc),
+        )
+
+    info = result.extra.get("elastic", {})
+    final_engine = info.get("engine", engine)
+    n_regrids = int(info.get("regrids", 0))
+    values_equal = bool(np.array_equal(ref.values, result.values))
+    values_close = bool(
+        np.allclose(ref.values, result.values, rtol=1e-9, atol=1e-12)
+    )
+    shrunk = any(not e.get("spare") for e in info.get("events", ()))
+    acceptable = values_equal or (algo == "PR" and shrunk and values_close)
+    status = (
+        "diverged"
+        if not acceptable
+        else ("regridded" if n_regrids else "completed")
+    )
+    return ElasticCaseResult(
+        scenario=scenario,
+        algo=algo,
+        status=status,
+        values_equal=values_equal,
+        values_close=values_close,
+        n_regrids=n_regrids,
+        expected_regrids=expected_regrids,
+        grid_trail=[start_grid] + [e["to_grid"] for e in info.get("events", ())],
+        policy=info.get("policy", recovery.policy.name),
+        regrid_s=float(final_engine.clocks.regrid_total),
+        regrid_fraction=float(result.timings.regrid_fraction),
+        fault_events=final_engine.fault_events,
+    )
+
+
+def run_elastic_campaign(
+    make_engine: Callable[[], Any],
+    algos: Sequence[str] = ("BFS", "PR", "CC"),
+    scenarios: Sequence[str] = DEFAULT_ELASTIC_SCENARIOS,
+    checkpoint_interval: int = 1,
+    max_retries: int = 2,
+) -> dict:
+    """Run the elastic scenario x algorithm grid; return a report dict.
+
+    ``report["failed"]`` counts cases that diverged, failed to recover,
+    or regridded a different number of times than the scenario expects
+    — the ``python -m repro faults --elastic`` CLI turns it into the
+    process exit code.
+    """
+    cases = []
+    for scenario in scenarios:
+        for algo in algos:
+            cases.append(
+                run_elastic_case(
+                    make_engine,
+                    algo,
+                    scenario,
+                    checkpoint_interval=checkpoint_interval,
+                    max_retries=max_retries,
+                )
+            )
+    return {
+        "schema": "repro.faults.elastic.v1",
+        "cases": [c.as_dict() for c in cases],
+        "total": len(cases),
+        "failed": sum(1 for c in cases if not c.ok),
+        "unrecovered": sum(1 for c in cases if c.status == "unrecovered"),
+        "diverged": sum(1 for c in cases if c.status == "diverged"),
+        "regrids": sum(c.n_regrids for c in cases),
+    }
 
 
 def run_campaign(

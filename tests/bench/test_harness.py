@@ -28,9 +28,10 @@ class TestGridFor:
         g = grid_for(36)
         assert g.R == g.C == 6
 
-    def test_rejects_odd_counts(self):
-        with pytest.raises(ValueError):
-            grid_for(12)
+    def test_non_square_counts_use_squarest_factor_pair(self):
+        g = grid_for(12)
+        assert (g.R, g.C) == (3, 4)
+        assert grid_for(7).n_ranks == 7
 
 
 class TestMakeEngine:

@@ -1,17 +1,35 @@
 """CheckpointManager: snapshot, prune, restore, disk round-trip."""
 
+import hashlib
 import os
+import pickle
 
 import numpy as np
 import pytest
 
 from repro import Engine, algorithms
-from repro.faults import CHECKPOINT_SCHEMA, CheckpointManager
+from repro.faults import (
+    CHECKPOINT_SCHEMA,
+    CheckpointCorruption,
+    CheckpointManager,
+)
 from repro.graph import rmat
 
 
 def small_engine(n_ranks=4):
     return Engine(rmat(7, seed=3), n_ranks)
+
+
+def _write_envelope(path, obj):
+    """Write ``obj`` in the on-disk integrity-envelope format."""
+    payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    envelope = {
+        "schema": CHECKPOINT_SCHEMA,
+        "sha256": hashlib.sha256(payload).hexdigest(),
+        "payload": payload,
+    }
+    with open(path, "wb") as fh:
+        pickle.dump(envelope, fh, protocol=pickle.HIGHEST_PROTOCOL)
 
 
 class TestManagerConfig:
@@ -167,8 +185,6 @@ class TestDiskRoundTrip:
         assert np.array_equal(res.values, ref.values)
 
     def test_load_rejects_wrong_schema(self, tmp_path):
-        import pickle
-
         from repro.faults.checkpoint import Checkpoint
 
         bad = Checkpoint(
@@ -176,19 +192,85 @@ class TestDiskRoundTrip:
             schema="repro.checkpoint.v999",
         )
         path = tmp_path / "ckpt_000001.pkl"
-        with open(path, "wb") as fh:
-            pickle.dump(bad, fh)
+        _write_envelope(path, bad)
         with pytest.raises(ValueError, match="schema mismatch"):
             CheckpointManager.load(str(path))
 
     def test_load_rejects_non_checkpoint(self, tmp_path):
-        import pickle
-
         path = tmp_path / "ckpt_000001.pkl"
-        with open(path, "wb") as fh:
-            pickle.dump({"not": "a checkpoint"}, fh)
+        _write_envelope(path, {"not": "a checkpoint"})
         with pytest.raises(ValueError, match="does not contain"):
             CheckpointManager.load(str(path))
 
     def test_latest_on_disk_missing_directory(self, tmp_path):
         assert CheckpointManager.latest_on_disk(str(tmp_path / "nope")) is None
+
+
+class TestCorruptionDetection:
+    """Integrity-envelope checks: sha256 mismatch, truncation, legacy
+    raw pickles, and the corrupt-skip fallback in latest_on_disk."""
+
+    def _two_checkpoints(self, tmp_path):
+        engine = small_engine()
+        mgr = CheckpointManager(
+            interval=1, directory=str(tmp_path), checkpoint_bw=None
+        )
+        engine.attach_checkpoints(mgr)
+        algorithms.pagerank(engine, iterations=2)
+        files = sorted(os.listdir(tmp_path))
+        assert len(files) == 2
+        return [os.path.join(tmp_path, f) for f in files]
+
+    def test_bit_flip_raises_corruption_with_digests(self, tmp_path):
+        (path, _) = self._two_checkpoints(tmp_path)[:2]
+        with open(path, "rb") as fh:
+            data = bytearray(fh.read())
+        # Flip a byte deep inside the pickled payload bytes.
+        data[len(data) // 2] ^= 0xFF
+        with open(path, "wb") as fh:
+            fh.write(bytes(data))
+        with pytest.raises(CheckpointCorruption, match="sha256 mismatch") as ei:
+            CheckpointManager.load(path)
+        assert ei.value.path == path
+        assert ei.value.expected is not None
+        assert ei.value.actual is not None
+        assert ei.value.expected != ei.value.actual
+
+    def test_truncated_file_raises_corruption(self, tmp_path):
+        (path, _) = self._two_checkpoints(tmp_path)[:2]
+        with open(path, "rb") as fh:
+            data = fh.read()
+        with open(path, "wb") as fh:
+            fh.write(data[: len(data) // 3])
+        with pytest.raises(CheckpointCorruption):
+            CheckpointManager.load(path)
+
+    def test_legacy_raw_pickle_raises_corruption(self, tmp_path):
+        # Pre-envelope files (a bare pickled Checkpoint) are unreadable
+        # as envelopes, not silently accepted.
+        from repro.faults.checkpoint import Checkpoint
+
+        old = Checkpoint(
+            superstep=1, algo="x", states=[], counters={}, clocks={}
+        )
+        path = str(tmp_path / "ckpt_000001.pkl")
+        with open(path, "wb") as fh:
+            pickle.dump(old, fh)
+        with pytest.raises(CheckpointCorruption, match="envelope"):
+            CheckpointManager.load(path)
+
+    def test_latest_on_disk_skips_corrupt_newest(self, tmp_path):
+        older, newer = self._two_checkpoints(tmp_path)
+        with open(newer, "wb") as fh:
+            fh.write(b"garbage")
+        with pytest.warns(UserWarning, match="skipping corrupt checkpoint"):
+            ckpt = CheckpointManager.latest_on_disk(str(tmp_path))
+        assert ckpt is not None
+        assert ckpt.superstep == 1
+
+    def test_latest_on_disk_all_corrupt_returns_none(self, tmp_path):
+        for path in self._two_checkpoints(tmp_path):
+            with open(path, "wb") as fh:
+                fh.write(b"garbage")
+        with pytest.warns(UserWarning):
+            assert CheckpointManager.latest_on_disk(str(tmp_path)) is None

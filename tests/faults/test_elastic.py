@@ -1,0 +1,312 @@
+"""Elastic recovery: permanent rank loss -> regrid -> identical finish.
+
+The tentpole claim: when a crash exhausts its retries, the run migrates
+the latest checkpoint onto a grid over the *surviving* ranks and
+resumes — and every monotone (min/max-reducing) algorithm still
+finishes bit-identical to the fault-free run.  PageRank's sum
+reductions are grouping-sensitive, so it is bit-exact only on the
+same-grid (spare-pool) path and ~1 ulp after a shrink.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Engine, algorithms
+from repro.comm.grid import Grid2D
+from repro.core.program import VertexProgram, run_vertex_program
+from repro.faults import (
+    CheckpointManager,
+    ElasticRecovery,
+    ElasticUnrecoverable,
+    FaultPlan,
+    FaultSpec,
+    KeepRows,
+    PreferSquare,
+    SparePool,
+    resolve_policy,
+    run_elastic_campaign,
+    run_elastic_case,
+)
+from repro.graph import rmat
+
+GRID = Grid2D(R=4, C=3)
+
+
+def _graph():
+    return rmat(7, seed=3)
+
+
+def _program():
+    return VertexProgram(
+        name="minlabel",
+        init=lambda ids: ids.astype(np.float64),
+        along_edge=lambda v, w: v,
+        op="min",
+    )
+
+
+#: (name, needs_weights, runner(engine, **kw)) for every elastic-capable
+#: algorithm entry point.
+ALGOS = {
+    "bfs": (False, lambda e, **kw: algorithms.bfs(e, root=0, **kw)),
+    "pagerank": (
+        False,
+        lambda e, **kw: algorithms.pagerank(e, iterations=8, **kw),
+    ),
+    "cc": (False, lambda e, **kw: algorithms.connected_components(e, **kw)),
+    "sssp": (True, lambda e, **kw: algorithms.sssp(e, root=0, **kw)),
+    "labelprop": (
+        False,
+        lambda e, **kw: algorithms.label_propagation(e, **kw),
+    ),
+    "pointerjump": (
+        False,
+        lambda e, **kw: algorithms.pointer_jumping(e, **kw),
+    ),
+    "program": (
+        False,
+        lambda e, **kw: run_vertex_program(e, _program(), **kw),
+    ),
+}
+
+MONOTONE = [k for k in ALGOS if k != "pagerank"]
+
+
+def _engines(name, executor=None):
+    needs_weights, runner = ALGOS[name]
+    g = _graph()
+    if needs_weights:
+        g = g.with_random_weights(seed=1, low=0.1, high=1.0)
+
+    def make():
+        return Engine(g, grid=GRID, executor=executor)
+
+    return make, runner
+
+
+def elastic_run(name, policy="prefer-square", specs=None, executor=None):
+    """Fault-free reference + elastic crashed run; returns both results."""
+    make, runner = _engines(name, executor=executor)
+    if specs is None:
+        specs = [FaultSpec("crash", 2, rank=5)]
+    ref_engine = make()
+    ref_engine.attach_checkpoints(CheckpointManager(interval=1))
+    ref = runner(ref_engine)
+
+    engine = make()
+    engine.attach_checkpoints(CheckpointManager(interval=1))
+    engine.attach_faults(FaultPlan(list(specs)), max_retries=2)
+    res = runner(engine, elastic=ElasticRecovery(policy=policy))
+    return ref, res
+
+
+class TestShrinkBitIdentity:
+    @pytest.mark.parametrize("name", MONOTONE)
+    def test_monotone_algorithms_bit_identical(self, name):
+        ref, res = elastic_run(name)
+        info = res.extra["elastic"]
+        assert info["regrids"] == 1
+        assert info["final_grid"] == (1, 11)
+        assert np.array_equal(ref.values, res.values)
+
+    @pytest.mark.parametrize("name", ["bfs", "cc"])
+    def test_extras_survive(self, name):
+        ref, res = elastic_run(name)
+        if name == "bfs":
+            assert np.array_equal(ref.extra["levels"], res.extra["levels"])
+        else:
+            assert ref.extra["n_components"] == res.extra["n_components"]
+
+    def test_pagerank_shrink_within_ulp(self):
+        ref, res = elastic_run("pagerank")
+        assert res.extra["elastic"]["regrids"] == 1
+        assert np.allclose(ref.values, res.values, rtol=1e-9, atol=1e-12)
+
+    def test_pagerank_spare_bit_exact(self):
+        ref, res = elastic_run("pagerank", policy="spare-pool:1")
+        info = res.extra["elastic"]
+        assert info["regrids"] == 1
+        assert info["final_grid"] == (GRID.R, GRID.C)
+        assert info["events"][0]["spare"] is True
+        assert np.array_equal(ref.values, res.values)
+
+
+class TestCascadeAndPolicies:
+    def test_double_crash_regrids_twice(self):
+        specs = [FaultSpec("crash", 2, rank=5), FaultSpec("crash", 3, rank=2)]
+        ref, res = elastic_run("bfs", specs=specs)
+        info = res.extra["elastic"]
+        assert info["regrids"] == 2
+        assert [e["to_grid"] for e in info["events"]] == [(1, 11), (2, 5)]
+        assert np.array_equal(ref.values, res.values)
+
+    def test_keep_rows_preserves_block_rows(self):
+        ref, res = elastic_run("cc", policy="keep-rows")
+        info = res.extra["elastic"]
+        # 11 survivors, C=3 kept: R' = 11 // 3 = 3, two ranks idle.
+        assert info["final_grid"] == (3, 3)
+        assert np.array_equal(ref.values, res.values)
+
+    def test_spare_pool_falls_back_when_exhausted(self):
+        specs = [FaultSpec("crash", 2, rank=5), FaultSpec("crash", 3, rank=2)]
+        ref, res = elastic_run("cc", policy="spare-pool:1", specs=specs)
+        info = res.extra["elastic"]
+        assert [e["spare"] for e in info["events"]] == [True, False]
+        assert info["final_grid"] == (1, 11)
+        assert np.array_equal(ref.values, res.values)
+
+    def test_policy_objects_and_specs(self):
+        assert isinstance(resolve_policy("prefer-square"), PreferSquare)
+        assert isinstance(resolve_policy("keep-rows"), KeepRows)
+        pool = resolve_policy("spare-pool:3")
+        assert isinstance(pool, SparePool) and pool.spares == 3
+        assert resolve_policy(pool) is pool
+        with pytest.raises(ValueError, match="unknown grid policy"):
+            resolve_policy("round-robin")
+        with pytest.raises(ValueError, match="integer"):
+            resolve_policy("spare-pool:lots")
+        with pytest.raises(ValueError, match="GridPolicy"):
+            resolve_policy(7)
+
+    def test_prefer_square_choices(self):
+        p = PreferSquare()
+        assert p.choose(GRID, 11) == Grid2D(R=1, C=11)
+        assert p.choose(GRID, 10) == Grid2D(R=2, C=5)
+        assert p.choose(GRID, 9) == Grid2D(R=3, C=3)
+
+    def test_keep_rows_falls_back_below_one_row(self):
+        p = KeepRows()
+        assert p.choose(Grid2D(R=1, C=4), 2) == Grid2D(R=1, C=2)
+
+    def test_elastic_true_and_string_specs(self):
+        # The algorithm-level `elastic=` accepts True and policy strings.
+        make, runner = _engines("cc")
+        engine = make()
+        engine.attach_checkpoints(CheckpointManager(interval=1))
+        engine.attach_faults(
+            FaultPlan([FaultSpec("crash", 2, rank=5)]), max_retries=2
+        )
+        res = runner(engine, elastic="keep-rows")
+        assert res.extra["elastic"]["policy"] == "keep-rows"
+
+
+class TestAccounting:
+    def test_regrid_lane_and_trace_event(self):
+        _, res = elastic_run("bfs")
+        info = res.extra["elastic"]
+        engine = info["engine"]
+        assert res.timings.regrid > 0
+        assert 0 < res.timings.regrid_fraction < 1
+        assert float(engine.clocks.regrid_total) == pytest.approx(
+            res.timings.regrid
+        )
+        regrids = [
+            e for e in engine.fault_events if e.get("kind") == "regrid"
+        ]
+        assert len(regrids) == 1
+        (event,) = regrids
+        assert event["from_grid"] == (4, 3)
+        assert event["to_grid"] == (1, 11)
+        assert event["policy"] == "prefer-square"
+        assert event["recovery_s"] > 0
+        crashes = [
+            e for e in engine.fault_events if e.get("kind") == "crash"
+        ]
+        assert crashes, "the original crash event must survive the rebuild"
+
+    def test_spare_charges_less_than_shrink(self):
+        _, shrink = elastic_run("cc")
+        _, spare = elastic_run("cc", policy="spare-pool:1")
+        assert 0 < spare.timings.regrid < shrink.timings.regrid
+
+    def test_cross_executor_identical(self):
+        ref_s, res_s = elastic_run("bfs", executor="serial")
+        ref_t, res_t = elastic_run("bfs", executor="threads:4")
+        assert np.array_equal(res_s.values, res_t.values)
+        assert np.array_equal(ref_s.values, res_s.values)
+        assert res_s.timings.regrid == pytest.approx(res_t.timings.regrid)
+
+
+class TestUnrecoverable:
+    def test_no_checkpoint_manager(self):
+        make, runner = _engines("bfs")
+        engine = make()
+        engine.attach_faults(
+            FaultPlan([FaultSpec("crash", 2, rank=5)]), max_retries=2
+        )
+        with pytest.raises(ElasticUnrecoverable, match="no checkpoint"):
+            runner(engine, elastic=True)
+
+    def test_regrid_budget_exhausted(self):
+        make, runner = _engines("bfs")
+        engine = make()
+        engine.attach_checkpoints(CheckpointManager(interval=1))
+        engine.attach_faults(
+            FaultPlan(
+                [FaultSpec("crash", 2, rank=5), FaultSpec("crash", 3, rank=2)]
+            ),
+            max_retries=2,
+        )
+        with pytest.raises(ElasticUnrecoverable, match="budget"):
+            runner(engine, elastic=ElasticRecovery(max_regrids=1))
+
+    def test_recovery_config_validated(self):
+        with pytest.raises(ValueError, match="regrid_bw"):
+            ElasticRecovery(regrid_bw=0)
+        with pytest.raises(ValueError, match="max_regrids"):
+            ElasticRecovery(max_regrids=0)
+        with pytest.raises(ValueError, match="spares"):
+            SparePool(spares=-1)
+
+
+class TestEngineSeams:
+    def test_rebuild_on_grid_carries_state(self):
+        engine = Engine(_graph(), grid=GRID)
+        algorithms.pagerank(engine, iterations=2)
+        comm_before = engine.clocks.comm.max()
+        new = engine.rebuild_on_grid(Grid2D(R=2, C=5))
+        assert new.n_ranks == 10
+        assert new.counters.state_dict() == engine.counters.state_dict()
+        # Clocks align to the BSP rendezvous: every new rank at the peak.
+        assert np.all(new.clocks.comm == comm_before)
+
+    def test_attach_faults_rejects_out_of_range_rank(self):
+        engine = Engine(_graph(), grid=GRID)
+        with pytest.raises(ValueError, match="rank=12"):
+            engine.attach_faults(
+                FaultPlan([FaultSpec("crash", 2, rank=12)])
+            )
+
+
+class TestCampaign:
+    def test_case_grades_regridded(self):
+        def make():
+            return Engine(_graph(), grid=GRID)
+
+        case = run_elastic_case(make, "CC", "crash-shrink")
+        assert case.status == "regridded"
+        assert case.ok
+        assert case.values_equal is True
+        assert case.n_regrids == 1
+        assert case.grid_trail == [(4, 3), (1, 11)]
+        assert case.regrid_s > 0
+
+    def test_campaign_all_green(self):
+        def make():
+            return Engine(_graph(), grid=GRID)
+
+        report = run_elastic_campaign(make, algos=("BFS",))
+        assert report["schema"] == "repro.faults.elastic.v1"
+        assert report["total"] == 4
+        assert report["failed"] == 0
+        assert report["unrecovered"] == 0
+        assert report["regrids"] == 5
+
+    def test_unknown_names_rejected(self):
+        def make():
+            return Engine(_graph(), grid=GRID)
+
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            run_elastic_case(make, "NOPE", "crash-shrink")
+        with pytest.raises(ValueError, match="unknown elastic scenario"):
+            run_elastic_case(make, "BFS", "nope")

@@ -71,6 +71,39 @@ class TestFaultPlan:
                                 corruption_rate=0.5, straggler_rate=0.5)
         assert all(s.kind in FAULT_KINDS for s in plan)
 
+    @pytest.mark.parametrize(
+        "field,rate", [
+            ("crash_rate", -0.1),
+            ("crash_rate", 1.5),
+            ("transient_rate", 2.0),
+            ("corruption_rate", -1.0),
+            ("straggler_rate", 1.0001),
+        ],
+    )
+    def test_random_rejects_bad_rates(self, field, rate):
+        # The error names the offending field and its value.
+        with pytest.raises(ValueError, match=f"{field}.*{rate}"):
+            FaultPlan.random(seed=0, n_supersteps=10, n_ranks=4,
+                             **{field: rate})
+
+    def test_random_rejects_negative_supersteps(self):
+        with pytest.raises(ValueError, match="n_supersteps.*-1"):
+            FaultPlan.random(seed=0, n_supersteps=-1, n_ranks=4)
+
+    def test_random_rejects_bad_rank_count(self):
+        with pytest.raises(ValueError, match="n_ranks.*0"):
+            FaultPlan.random(seed=0, n_supersteps=10, n_ranks=0)
+
+    def test_random_rejects_bad_straggler_delay(self):
+        with pytest.raises(ValueError, match="straggler_delay_s"):
+            FaultPlan.random(seed=0, n_supersteps=10, n_ranks=4,
+                             straggler_rate=0.5, straggler_delay_s=0.0)
+
+    def test_random_rejects_negative_max_crashes(self):
+        with pytest.raises(ValueError, match="max_crashes.*-2"):
+            FaultPlan.random(seed=0, n_supersteps=10, n_ranks=4,
+                             max_crashes=-2)
+
     def test_for_superstep_filters(self):
         plan = FaultPlan(
             [FaultSpec("transient", 2), FaultSpec("corruption", 4)]
