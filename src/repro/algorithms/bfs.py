@@ -215,12 +215,16 @@ def bfs(
             dense_pull(engine, "parent", op="min")
             result = None
 
+        flags_handle = None
         if result is not None:
             n_updated = result.n_updated
         else:
             # Dense path: count freshly visited row vertices (one
             # representative per row group) and share the verdict with
-            # a one-word AllReduce, as a real dense iteration must.
+            # a one-word AllReduce, as a real dense iteration must.  No
+            # rank consumes the reduced value locally, so an overlapped
+            # engine issues it split-phase and hides the level-update
+            # compute below behind it.
             n_updated = 0
             for id_r, ranks in engine.row_groups():
                 ctx0 = engine.ctx(ranks[0])
@@ -228,9 +232,16 @@ def bfs(
                 l0 = ctx0.get("level")[ctx0.row_slice]
                 n_updated += int(np.count_nonzero(np.isfinite(p0) & ~np.isfinite(l0)))
             flags = [np.array([float(n_updated)]) for _ in range(grid.n_ranks)]
-            engine.comm.allreduce(list(range(grid.n_ranks)), flags, op="max")
+            if engine.overlap:
+                flags_handle = engine.comm.start_allreduce(
+                    list(range(grid.n_ranks)), flags, op="max"
+                )
+            else:
+                engine.comm.allreduce(list(range(grid.n_ranks)), flags, op="max")
 
         if n_updated == 0:
+            if flags_handle is not None:
+                engine.comm.wait(flags_handle)
             done = True
             engine.superstep_boundary("bfs", _loop_state())
             break
@@ -252,6 +263,8 @@ def bfs(
             return fresh[(fresh >= rs.start) & (fresh < rs.stop)]
 
         new_frontier = engine.map_ranks(fresh_levels)
+        if flags_handle is not None:
+            engine.comm.wait(flags_handle)
         for id_r, ranks in engine.row_groups():
             ctx0 = engine.ctx(ranks[0])
             rows = new_frontier[ranks[0]]

@@ -220,8 +220,17 @@ def connected_components(
                 changed_rows[id_r] = diff
             # Convergence check: a 1-word AllReduce over all ranks, as a
             # dense iteration has no other way to learn the update count.
+            # No rank consumes the reduced value locally, so an
+            # overlapped engine issues it split-phase and hides the
+            # active-queue rebuild below behind it.
             flags = [np.array([float(n_updated)]) for _ in range(grid.n_ranks)]
-            engine.comm.allreduce(list(range(grid.n_ranks)), flags, op="max")
+            flags_handle = None
+            if engine.overlap:
+                flags_handle = engine.comm.start_allreduce(
+                    list(range(grid.n_ranks)), flags, op="max"
+                )
+            else:
+                engine.comm.allreduce(list(range(grid.n_ranks)), flags, op="max")
             if use_queue:
                 if direction == "push":
                     active = [
@@ -235,6 +244,8 @@ def connected_components(
                         for r in range(grid.n_ranks)
                     ]
                     active = propagate_active_pull(engine, updated)
+            if flags_handle is not None:
+                engine.comm.wait(flags_handle)
 
         policy.observe(n_updated)
         done = n_updated == 0 or (

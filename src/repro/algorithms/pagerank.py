@@ -163,6 +163,27 @@ def pagerank(
     while iterations_run < iterations and not done:
         iterations_run += 1
 
+        # Dangling mass: each rank contributes its row window's share
+        # divided by the row-group size (R ranks share each window).
+        # Depends only on the previous iteration's pr and the static
+        # degrees, so it runs *before* the gather: on an overlapped
+        # engine its one-word AllReduce is issued split-phase here and
+        # completed only where the total is consumed, hiding the whole
+        # gather + dense-exchange phase behind it.
+        def dangling_share(ctx):
+            pr = ctx.get("pr")
+            deg = ctx.get("deg")
+            rw = ctx.row_slice
+            engine.charge_vertices(ctx.rank, ctx.localmap.n_row)
+            return np.array([pr[rw][deg[rw] == 0].sum() / grid.R])
+
+        partials = engine.map_ranks(dangling_share)
+        dangling_handle = (
+            engine.comm.start_allreduce(all_ranks, partials, op="sum")
+            if engine.overlap
+            else None
+        )
+
         # Local partial gathers.
         def gather_partials(ctx):
             pr = ctx.get("pr")
@@ -187,17 +208,12 @@ def pagerank(
         # Complete the sums along row groups, refresh ghosts.
         dense_pull(engine, "acc", op="sum")
 
-        # Dangling mass: each rank contributes its row window's share
-        # divided by the row-group size (R ranks share each window).
-        def dangling_share(ctx):
-            pr = ctx.get("pr")
-            deg = ctx.get("deg")
-            rw = ctx.row_slice
-            engine.charge_vertices(ctx.rank, ctx.localmap.n_row)
-            return np.array([pr[rw][deg[rw] == 0].sum() / grid.R])
-
-        partials = engine.map_ranks(dangling_share)
-        engine.comm.allreduce(all_ranks, partials, op="sum")
+        # Fold in the dangling total (waiting out the in-flight
+        # AllReduce on an overlapped engine).
+        if dangling_handle is not None:
+            engine.comm.wait(dangling_handle)
+        else:
+            engine.comm.allreduce(all_ranks, partials, op="sum")
         dangling_total = float(partials[0][0])
 
         # Damping update (acc is consistent on every LID).

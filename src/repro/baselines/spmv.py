@@ -103,6 +103,22 @@ def spmv_pagerank(
 
     for _ in range(iterations):
 
+        # The dangling share depends only on the previous iteration's
+        # pr and the static degrees, so it runs before the SpMV: an
+        # overlapped engine issues its one-word AllReduce split-phase
+        # here and hides the SpMV + dense-exchange phase behind it.
+        def dangling_partial(ctx):
+            pr, deg = ctx.get("pr"), ctx.get("deg")
+            rw = ctx.row_slice
+            return np.array([pr[rw][deg[rw] == 0].sum() / grid.R])
+
+        partials = engine.map_ranks(dangling_partial)
+        dangling_handle = (
+            engine.comm.start_allreduce(all_ranks, partials, op="sum")
+            if engine.overlap
+            else None
+        )
+
         def spmv_step(ctx):
             pr, deg, acc = ctx.get("pr"), ctx.get("deg"), ctx.get("acc")
             x = pr / np.maximum(deg, 1.0)
@@ -116,13 +132,10 @@ def spmv_pagerank(
         engine.foreach(spmv_step)
         dense_pull(engine, "acc", op="sum")
 
-        def dangling_partial(ctx):
-            pr, deg = ctx.get("pr"), ctx.get("deg")
-            rw = ctx.row_slice
-            return np.array([pr[rw][deg[rw] == 0].sum() / grid.R])
-
-        partials = engine.map_ranks(dangling_partial)
-        engine.comm.allreduce(all_ranks, partials, op="sum")
+        if dangling_handle is not None:
+            engine.comm.wait(dangling_handle)
+        else:
+            engine.comm.allreduce(all_ranks, partials, op="sum")
         dangling = float(partials[0][0])
 
         def damping_update(ctx):

@@ -42,7 +42,13 @@ from ..patterns.sparse import sparse_push
 from ..queueing.frontier import expand_csr
 from ..queueing.manhattan import manhattan_schedule
 
-__all__ = ["SCHEMA", "run_perf", "append_entry", "load_trajectory"]
+__all__ = [
+    "SCHEMA",
+    "run_perf",
+    "measure_modeled",
+    "append_entry",
+    "load_trajectory",
+]
 
 #: Trajectory file schema identifier (bump on incompatible change).
 SCHEMA = "repro.bench.simulator.v1"
@@ -126,6 +132,55 @@ def measure_algorithms(engine: Engine, repeats: int = 3) -> dict:
     }
 
 
+def measure_modeled(graph, ranks: int, executor=None) -> dict:
+    """Modeled (virtual) clock comparison: blocking vs overlapped.
+
+    Unlike the wall-clock sections, these numbers come from the
+    simulator's virtual clocks — the quantity split-phase collectives
+    exist to improve.  Each algorithm runs twice on fresh engines, once
+    blocking and once with ``overlap=True``; the overlap model
+    guarantees identical values/counters/compute/comm lanes, so the
+    only legitimate difference is the total (shrunk by the hidden time
+    the ``overlap`` lane reports).
+    """
+    from ..algorithms.bfs import bfs
+    from ..algorithms.components import connected_components
+    from ..algorithms.pagerank import pagerank
+    from ..baselines.spmv import spmv_pagerank
+
+    runners = {
+        "BFS": lambda e: bfs(e, root=0),
+        "PR": lambda e: pagerank(e, iterations=20),
+        "CC": lambda e: connected_components(e),
+        "SpMV": lambda e: spmv_pagerank(e, iterations=20),
+    }
+    out = {}
+    for name, run in runners.items():
+        modes = {}
+        for mode, overlap in (("blocking", False), ("overlapped", True)):
+            e = Engine(
+                graph,
+                n_ranks=ranks,
+                executor=resolve_executor(executor),
+                overlap=overlap,
+            )
+            t = run(e).timings
+            modes[mode] = {
+                "total_s": t.total,
+                "compute_s": t.compute,
+                "comm_s": t.comm,
+                "overlap_s": t.overlap,
+                "overlap_fraction": t.overlap_fraction,
+            }
+        modes["speedup"] = (
+            modes["blocking"]["total_s"] / modes["overlapped"]["total_s"]
+            if modes["overlapped"]["total_s"]
+            else 1.0
+        )
+        out[name] = modes
+    return out
+
+
 def run_perf(
     scale: int = 14,
     ranks: int = 16,
@@ -133,6 +188,7 @@ def run_perf(
     label: str = "",
     primitives: bool = True,
     executor: "RankExecutor | str | None" = None,
+    modeled: bool = False,
 ) -> dict:
     """Run the full protocol; return one trajectory entry.
 
@@ -140,6 +196,11 @@ def run_perf(
     spec string like ``"threads:4"``, or ``None`` for the environment
     default) and is recorded in the entry's protocol so trajectory
     entries from different backends stay distinguishable.
+
+    ``modeled=True`` adds a ``"modeled"`` section comparing the
+    virtual-clock totals blocking vs overlapped (see
+    :func:`measure_modeled`); it lives outside ``"algorithms"`` so the
+    wall-clock trajectory's shape stays stable.
     """
     graph = rmat(scale, seed=1)
     ex = resolve_executor(executor)
@@ -164,6 +225,8 @@ def run_perf(
         entry["primitives"] = measure_primitives(
             graph, engine, repeats=max(repeats, 5)
         )
+    if modeled:
+        entry["modeled"] = measure_modeled(graph, ranks, executor=executor)
     return entry
 
 

@@ -170,6 +170,7 @@ def _cmd_perf(args: argparse.Namespace) -> int:
         label=args.label,
         primitives=not args.no_primitives,
         executor=args.executor,
+        modeled=args.overlap,
     )
     for section in ("algorithms", "primitives"):
         if section not in entry:
@@ -179,6 +180,16 @@ def _cmd_perf(args: argparse.Namespace) -> int:
             print(
                 f"  {name:>20}: best {t['best_s'] * 1e3:9.3f} ms  "
                 f"mean {t['mean_s'] * 1e3:9.3f} ms  ({t['repeats']} repeats)"
+            )
+    if "modeled" in entry:
+        print("modeled (virtual clock, blocking vs overlapped):")
+        for name, m in entry["modeled"].items():
+            blk, ovl = m["blocking"], m["overlapped"]
+            print(
+                f"  {name:>20}: blocking {blk['total_s']:9.3f}s  "
+                f"overlapped {ovl['total_s']:9.3f}s  "
+                f"(x{m['speedup']:.3f}, hid {ovl['overlap_fraction']:.1%} "
+                f"of comm)"
             )
     if args.out:
         data = append_entry(args.out, entry)
@@ -397,6 +408,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--executor", default=None, metavar="SPEC",
         help="rank executor: 'serial', 'threads', or 'threads:N' "
              "(default: the REPRO_EXECUTOR environment variable, else serial)",
+    )
+    perf.add_argument(
+        "--overlap", action="store_true",
+        help="also record the modeled (virtual-clock) blocking-vs-"
+             "overlapped comparison for BFS/PR/CC/SpMV",
     )
     perf.set_defaults(func=_cmd_perf)
 

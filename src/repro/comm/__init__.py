@@ -1,15 +1,17 @@
 """2D grid geometry, virtual clocks, counters, and collectives."""
 
-from .clocks import PhaseTimes, VirtualClocks
-from .collectives import REDUCE_OPS, BroadcastCall, Communicator
+from .clocks import InflightCollective, PhaseTimes, VirtualClocks
+from .collectives import REDUCE_OPS, BroadcastCall, CollectiveHandle, Communicator
 from .counters import CommCounters, CounterSnapshot, OpStats
 from .grid import Grid2D, factor_pairs, square_grid
 
 __all__ = [
+    "InflightCollective",
     "PhaseTimes",
     "VirtualClocks",
     "REDUCE_OPS",
     "BroadcastCall",
+    "CollectiveHandle",
     "Communicator",
     "CommCounters",
     "CounterSnapshot",

@@ -20,23 +20,49 @@ import numpy as np
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .counters import CommCounters, CounterSnapshot
 
-__all__ = ["PhaseTimes", "VirtualClocks"]
+__all__ = ["InflightCollective", "PhaseTimes", "VirtualClocks"]
 
 
 @dataclass(frozen=True)
 class PhaseTimes:
-    """A (total, computation, communication) time triple in seconds."""
+    """A (total, computation, communication) time triple in seconds.
+
+    ``overlap`` (optional, default 0) annotates how much communication
+    time was hidden behind computation by split-phase collectives; like
+    the recovery/regrid lanes it is not an additional component of
+    ``total`` — it is the part of ``comm`` that does *not* appear in
+    ``total``.
+    """
 
     total: float
     compute: float
     comm: float
+    overlap: float = 0.0
 
     def __sub__(self, other: "PhaseTimes") -> "PhaseTimes":
         return PhaseTimes(
             total=self.total - other.total,
             compute=self.compute - other.compute,
             comm=self.comm - other.comm,
+            overlap=self.overlap - other.overlap,
         )
+
+
+@dataclass
+class InflightCollective:
+    """Clock-side record of one issued-but-uncompleted collective.
+
+    Created by :meth:`VirtualClocks.issue_collective`; consumed exactly
+    once by :meth:`VirtualClocks.complete_collective`.  ``issued_at`` is
+    the group-max clock at issue (the moment the last member's send
+    buffer was ready); ``comm_seconds`` is the modeled cost the
+    collective would charge if it ran blocking.
+    """
+
+    idx: np.ndarray
+    issued_at: float
+    comm_seconds: float
+    completed: bool = False
 
 
 class VirtualClocks:
@@ -66,6 +92,13 @@ class VirtualClocks:
         # gather, re-partition, scatter onto the surviving grid).  Like
         # ``recovery`` it annotates time already contained in the total.
         self.regrid = np.zeros(n_ranks)
+        # Overlap lane: communication seconds *hidden* behind
+        # computation by split-phase collectives.  The inverse
+        # annotation of recovery/regrid: hidden seconds are contained
+        # in ``comm`` but NOT in the total (`total = compute + exposed
+        # comm + idle`, and `exposed comm = comm - overlap`).  Blocking
+        # runs keep it at exactly zero.
+        self.overlap = np.zeros(n_ranks)
         self.iteration_marks: list[PhaseTimes] = []
         self.counter_marks: list["CounterSnapshot"] = []
 
@@ -143,6 +176,49 @@ class VirtualClocks:
         self.comm[idx] += seconds
         self.regrid[idx] += seconds
 
+    def issue_collective(
+        self, ranks: Sequence[int], comm_seconds: float
+    ) -> InflightCollective:
+        """Issue a split-phase collective: barrier the group, charge
+        nothing yet.
+
+        The group synchronizes to its maximum clock — the collective
+        cannot start before the last member's send buffer is ready,
+        exactly the implicit barrier a blocking ``sync_group`` performs
+        — and the exchange is considered *in flight* from that instant.
+        Time is charged at :meth:`complete_collective`.
+        """
+        if comm_seconds < 0:
+            raise ValueError(f"negative comm time {comm_seconds}")
+        idx = np.fromiter(ranks, dtype=np.int64)
+        t = float(self.clock[idx].max())
+        self.clock[idx] = t
+        return InflightCollective(idx=idx, issued_at=t, comm_seconds=comm_seconds)
+
+    def complete_collective(self, inflight: InflightCollective) -> float:
+        """Complete an issued collective; returns the hidden seconds.
+
+        The overlapped window spans from issue to now.  Any compute the
+        participants charged inside the window runs concurrently with
+        the exchange, so the group's clocks land at ``issued_at +
+        max(compute_elapsed, comm_cost)``.  The full ``comm_cost`` is
+        charged to the ``comm`` lane — identical to a blocking run —
+        while ``min(compute_elapsed, comm_cost)``, the part of the cost
+        the window absorbed, is recorded in the ``overlap`` lane.  A
+        wait immediately after issue (``compute_elapsed == 0``)
+        degenerates to exactly :meth:`sync_group`.
+        """
+        if inflight.completed:
+            raise ValueError("collective already completed")
+        inflight.completed = True
+        idx = inflight.idx
+        elapsed = float(self.clock[idx].max()) - inflight.issued_at
+        hidden = min(elapsed, inflight.comm_seconds)
+        self.clock[idx] = inflight.issued_at + max(elapsed, inflight.comm_seconds)
+        self.comm[idx] += inflight.comm_seconds
+        self.overlap[idx] += hidden
+        return hidden
+
     def reset(self) -> None:
         """Zero all clocks and drop marks, preserving identity.
 
@@ -154,6 +230,7 @@ class VirtualClocks:
         self.comm[:] = 0.0
         self.recovery[:] = 0.0
         self.regrid[:] = 0.0
+        self.overlap[:] = 0.0
         self.iteration_marks.clear()
         self.counter_marks.clear()
 
@@ -175,6 +252,7 @@ class VirtualClocks:
             total=float(self.clock.max()),
             compute=float(self.compute.max()),
             comm=float(self.comm.max()),
+            overlap=float(self.overlap.max()),
         )
 
     def mark_iteration(self) -> PhaseTimes:
@@ -210,6 +288,12 @@ class VirtualClocks:
         regridded onto a surviving grid)."""
         return float(self.regrid.max())
 
+    @property
+    def overlap_total(self) -> float:
+        """Max-over-ranks hidden communication time (0.0 in blocking
+        runs)."""
+        return float(self.overlap.max())
+
     # ------------------------------------------------------------------
     # checkpoint support
     # ------------------------------------------------------------------
@@ -226,8 +310,10 @@ class VirtualClocks:
             "comm": self.comm.copy(),
             "recovery": self.recovery.copy(),
             "regrid": self.regrid.copy(),
+            "overlap": self.overlap.copy(),
             "iteration_marks": [
-                (m.total, m.compute, m.comm) for m in self.iteration_marks
+                (m.total, m.compute, m.comm, m.overlap)
+                for m in self.iteration_marks
             ],
             "counter_marks": [c.as_state() for c in self.counter_marks],
         }
@@ -241,8 +327,10 @@ class VirtualClocks:
         self.compute[:] = state["compute"]
         self.comm[:] = state["comm"]
         self.recovery[:] = state["recovery"]
-        # Older snapshots predate the regrid lane.
+        # Older snapshots predate the regrid and overlap lanes (and
+        # their marks carry 3-tuples, which PhaseTimes defaults absorb).
         self.regrid[:] = state.get("regrid", 0.0)
+        self.overlap[:] = state.get("overlap", 0.0)
         self.iteration_marks[:] = [
             PhaseTimes(*t) for t in state["iteration_marks"]
         ]
@@ -262,7 +350,7 @@ class VirtualClocks:
         and counter snapshots are rank-agnostic and pass through.
         """
         out = dict(state)
-        for lane in ("clock", "compute", "comm", "recovery", "regrid"):
+        for lane in ("clock", "compute", "comm", "recovery", "regrid", "overlap"):
             arr = np.asarray(state.get(lane, [0.0]), dtype=np.float64)
             peak = float(arr.max()) if arr.size else 0.0
             out[lane] = np.full(n_ranks, peak)

@@ -19,10 +19,10 @@ from typing import Callable, Sequence
 import numpy as np
 
 from ..cluster.costmodel import CostModel
-from .clocks import VirtualClocks
+from .clocks import InflightCollective, VirtualClocks
 from .counters import CommCounters
 
-__all__ = ["BroadcastCall", "Communicator", "REDUCE_OPS"]
+__all__ = ["BroadcastCall", "CollectiveHandle", "Communicator", "REDUCE_OPS"]
 
 REDUCE_OPS: dict[str, Callable[[np.ndarray], np.ndarray]] = {
     "sum": lambda stacked: np.add.reduce(stacked, axis=0),
@@ -46,8 +46,40 @@ class BroadcastCall:
     dests: list[np.ndarray]
 
 
+@dataclass
+class CollectiveHandle:
+    """An in-flight split-phase collective (see ``start_*`` methods).
+
+    ``result`` holds the simulated payload — data movement happens
+    eagerly at issue so results stay bit-identical to the blocking
+    path.  A real split-phase collective delivers it incrementally
+    (segment by segment along the ring), so a consumer that reads
+    ``result`` before :meth:`Communicator.wait` returns it models a
+    pipelined receive-and-apply and must therefore process it in a
+    segment-order-independent way (element-wise reductions and
+    assignments qualify; see docs/MODEL.md).  Time is charged only at
+    ``wait``.
+    """
+
+    kind: str
+    ranks: tuple[int, ...]
+    inflight: InflightCollective
+    result: object = None
+
+
 class Communicator:
-    """Executes collectives with time/counter accounting."""
+    """Executes collectives with time/counter accounting.
+
+    Every blocking collective has a split-phase twin (``start_X`` +
+    :meth:`wait`) that separates *issue* from *completion*: the data
+    moves and the counters record at issue, but the virtual-time charge
+    is deferred to ``wait``, where the clocks charge
+    ``max(compute_elapsed, comm_cost)`` for the overlapped window (the
+    comm lane still receives the full blocking cost; the hidden part
+    lands in the ``overlap`` lane).  Issuing and waiting immediately is
+    bit-identical to the blocking call — values, counters, *and*
+    clocks.
+    """
 
     def __init__(
         self,
@@ -120,15 +152,14 @@ class Communicator:
     # ------------------------------------------------------------------
     # collectives
     # ------------------------------------------------------------------
-    def allreduce(
+    def _allreduce_core(
         self,
         ranks: Sequence[int],
         buffers: Sequence[np.ndarray],
-        op: str = "sum",
-        nic_sharing: int = 1,
-    ) -> None:
-        """In-place AllReduce: every buffer ends up holding the
-        element-wise reduction of all of them."""
+        op: str,
+        nic_sharing: int,
+    ) -> float:
+        """Validate, move data, record counters; return the comm cost."""
         self._check_group(ranks, buffers, uniform=True)
         if op not in REDUCE_OPS:
             raise ValueError(f"unknown op {op!r}; choose from {sorted(REDUCE_OPS)}")
@@ -140,13 +171,25 @@ class Communicator:
             for b in buffers:
                 b[...] = result
         t = self.costmodel.allreduce_time(ranks, nbytes, nic_sharing=nic_sharing)
-        self.clocks.sync_group(ranks, t)
         self.counters.record(
             "allreduce",
             serial_messages=2 * (k - 1),
             transfers=2 * k * (k - 1),
             nbytes=2 * nbytes * (k - 1) if k > 1 else 0,
         )
+        return t
+
+    def allreduce(
+        self,
+        ranks: Sequence[int],
+        buffers: Sequence[np.ndarray],
+        op: str = "sum",
+        nic_sharing: int = 1,
+    ) -> None:
+        """In-place AllReduce: every buffer ends up holding the
+        element-wise reduction of all of them."""
+        t = self._allreduce_core(ranks, buffers, op, nic_sharing)
+        self.clocks.sync_group(ranks, t)
 
     def broadcast(
         self,
@@ -217,6 +260,17 @@ class Communicator:
         payload.  Returns the concatenated array (identical on every
         rank, so a single shared copy is returned).
         """
+        result, t = self._allgatherv_core(ranks, send_buffers, nic_sharing)
+        self.clocks.sync_group(ranks, t)
+        return result
+
+    def _allgatherv_core(
+        self,
+        ranks: Sequence[int],
+        send_buffers: Sequence[np.ndarray],
+        nic_sharing: int,
+    ) -> tuple[np.ndarray, float]:
+        """Validate, move data, record counters; return (result, cost)."""
         self._check_group(ranks, send_buffers)
         self._check_dtypes(ranks, send_buffers)
         k = len(ranks)
@@ -231,14 +285,13 @@ class Communicator:
         )
         total = int(sum(a.nbytes for a in arrays))
         t = self.costmodel.allgather_time(ranks, total, nic_sharing=nic_sharing)
-        self.clocks.sync_group(ranks, t)
         self.counters.record(
             "allgatherv",
             serial_messages=k - 1,
             transfers=k * (k - 1),
             nbytes=total * (k - 1) if k > 1 else 0,
         )
-        return result
+        return result, t
 
     def sendrecv(self, src_rank: int, dst_rank: int, payload: np.ndarray) -> np.ndarray:
         """Point-to-point transfer; returns the received copy."""
@@ -263,6 +316,17 @@ class Communicator:
         everything addressed to it.  Charged with the O(p^2)-message
         model the paper ascribes to 1D distributions.
         """
+        received, t = self._alltoallv_core(ranks, send_matrix, nic_sharing)
+        self.clocks.sync_group(ranks, t)
+        return received
+
+    def _alltoallv_core(
+        self,
+        ranks: Sequence[int],
+        send_matrix: Sequence[Sequence[np.ndarray]],
+        nic_sharing: int,
+    ) -> tuple[list[np.ndarray], float]:
+        """Validate, move data, record counters; return (result, cost)."""
         k = len(ranks)
         if len(send_matrix) != k or any(len(row) != k for row in send_matrix):
             shape = f"{len(send_matrix)} x {[len(row) for row in send_matrix]}"
@@ -287,11 +351,74 @@ class Communicator:
                 total += p.nbytes
                 max_pair = max(max_pair, p.nbytes)
         t = self.costmodel.alltoall_time(ranks, max_pair, nic_sharing=nic_sharing)
-        self.clocks.sync_group(ranks, t)
         self.counters.record(
             "alltoallv",
             serial_messages=k * (k - 1),
             transfers=k * (k - 1),
             nbytes=total,
         )
-        return received
+        return received, t
+
+    # ------------------------------------------------------------------
+    # split-phase collectives (issue now, charge time at wait)
+    # ------------------------------------------------------------------
+    def start_allreduce(
+        self,
+        ranks: Sequence[int],
+        buffers: Sequence[np.ndarray],
+        op: str = "sum",
+        nic_sharing: int = 1,
+    ) -> CollectiveHandle:
+        """Issue an AllReduce; complete it with :meth:`wait`.
+
+        The buffers hold the reduced values from issue onward (eager
+        simulated data movement); callers must not mutate them until
+        the matching ``wait``.
+        """
+        t = self._allreduce_core(ranks, buffers, op, nic_sharing)
+        return CollectiveHandle(
+            "allreduce", tuple(ranks), self.clocks.issue_collective(ranks, t)
+        )
+
+    def start_allgatherv(
+        self,
+        ranks: Sequence[int],
+        send_buffers: Sequence[np.ndarray],
+        nic_sharing: int = 1,
+    ) -> CollectiveHandle:
+        """Issue a variable-size AllGather; complete with :meth:`wait`.
+
+        ``handle.result`` carries the concatenated array (see
+        :class:`CollectiveHandle` for the pipelined-consumption
+        contract); send buffers may be recycled once this returns.
+        """
+        result, t = self._allgatherv_core(ranks, send_buffers, nic_sharing)
+        return CollectiveHandle(
+            "allgatherv", tuple(ranks), self.clocks.issue_collective(ranks, t), result
+        )
+
+    def start_alltoallv(
+        self,
+        ranks: Sequence[int],
+        send_matrix: Sequence[Sequence[np.ndarray]],
+        nic_sharing: int = 1,
+    ) -> CollectiveHandle:
+        """Issue a personalized exchange; complete with :meth:`wait`.
+
+        ``handle.result`` carries the per-member received buffers.
+        """
+        received, t = self._alltoallv_core(ranks, send_matrix, nic_sharing)
+        return CollectiveHandle(
+            "alltoallv", tuple(ranks), self.clocks.issue_collective(ranks, t), received
+        )
+
+    def wait(self, handle: CollectiveHandle):
+        """Complete a split-phase collective; returns its result.
+
+        Charges the overlapped window to the participants' clocks (see
+        :meth:`VirtualClocks.complete_collective`): the comm lane pays
+        the full blocking cost, the total only its exposed remainder.
+        Each handle completes exactly once.
+        """
+        self.clocks.complete_collective(handle.inflight)
+        return handle.result

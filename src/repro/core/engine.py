@@ -22,6 +22,7 @@ Typical usage::
 
 from __future__ import annotations
 
+import os
 from typing import Iterator, Optional, Sequence
 
 import numpy as np
@@ -41,7 +42,10 @@ from ..queueing.manhattan import manhattan_schedule, vertex_per_thread_balance
 from .context import RankContext
 from .result import TimingReport
 
-__all__ = ["Engine"]
+__all__ = ["Engine", "OVERLAP_ENV_VAR"]
+
+#: Environment variable consulted when ``Engine(overlap=None)``.
+OVERLAP_ENV_VAR = "REPRO_OVERLAP"
 
 
 class Engine:
@@ -80,6 +84,16 @@ class Engine:
         ``None`` to consult the ``REPRO_EXECUTOR`` environment
         variable (default serial).  Either way results are
         deterministic — see :meth:`map_ranks`.
+    overlap:
+        Run the comm/compute-overlap variants of the block-sweep hot
+        loops: patterns issue collectives split-phase
+        (``Communicator.start_*``) and hide apply-phase compute behind
+        the in-flight exchanges.  Values, counters, and the compute and
+        comm lanes stay bit-identical to a blocking run; only the total
+        drops (by the time recorded in the ``overlap`` lane).  ``None``
+        consults the ``REPRO_OVERLAP`` environment variable
+        (``1``/``true``/``on``/``yes`` enable; default blocking).  See
+        docs/MODEL.md.
     """
 
     def __init__(
@@ -95,6 +109,7 @@ class Engine:
         enforce_memory: bool = False,
         seed: int = 0,
         executor: "RankExecutor | str | None" = None,
+        overlap: Optional[bool] = None,
     ):
         if grid is None:
             if n_ranks is None:
@@ -107,10 +122,19 @@ class Engine:
         if load_balance not in ("manhattan", "vertex"):
             raise ValueError("load_balance must be 'manhattan' or 'vertex'")
 
+        if overlap is None:
+            overlap = os.environ.get(OVERLAP_ENV_VAR, "").strip().lower() in (
+                "1",
+                "true",
+                "on",
+                "yes",
+            )
+
         self.graph = graph
         self.grid = grid
         self.cluster = cluster
         self.load_balance = load_balance
+        self.overlap = bool(overlap)
         # Everything (besides graph/grid/executor) a rebuild on a new
         # grid needs to reproduce this engine's configuration — the
         # elastic-recovery seam (see rebuild_on_grid).
@@ -122,6 +146,7 @@ class Engine:
             memory_scale=memory_scale,
             enforce_memory=enforce_memory,
             seed=seed,
+            overlap=self.overlap,
         )
         self.partition: TwoDPartition = partition_2d(
             graph, grid, distribution=distribution, seed=seed
@@ -130,6 +155,19 @@ class Engine:
         self.costmodel = CostModel(cluster.gpu, self.topology, profile)
         # Memoized ScheduleStats for repeated identical queue expansions
         # (dense iterations re-schedule the same full queue every time).
+        # Keys are scoped by (graph identity, grid shape, distribution,
+        # seed, load-balance model) so the dict can be *shared* across
+        # rebuild_on_grid generations: an elastic shrink that later
+        # revisits a previous grid hits that grid's warm entries instead
+        # of re-running every schedule from cold.
+        self._schedule_scope = (
+            id(graph),
+            grid.R,
+            grid.C,
+            distribution,
+            seed,
+            load_balance,
+        )
         self._schedule_cache: dict[tuple, object] = {}
         self.counters = CommCounters()
         self.clocks = VirtualClocks(grid.n_ranks, counters=self.counters)
@@ -304,7 +342,7 @@ class Engine:
         fixed by the partition).
         """
         if cache_key is not None:
-            key = (rank, cache_key, self.load_balance)
+            key = self._schedule_scope + (rank, cache_key)
             stats = self._schedule_cache.get(key)
             if stats is not None:
                 return stats
@@ -445,6 +483,10 @@ class Engine:
             executor=self.executor,
             **self._rebuild_args,
         )
+        # Share (don't copy) the schedule cache: entries are keyed by
+        # grid scope, so a later regrid back onto a previously-used grid
+        # starts warm instead of re-deriving every schedule.
+        new._schedule_cache = self._schedule_cache
         new.counters.load_state(self.counters.state_dict())
         new.clocks.load_state(
             VirtualClocks.align_state(self.clocks.state_dict(), grid.n_ranks)
@@ -560,6 +602,7 @@ class Engine:
             per_iteration=tuple(deltas),
             recovery=self.clocks.recovery_total,
             regrid=self.clocks.regrid_total,
+            overlap=self.clocks.overlap_total,
         )
 
     def memory_report(self) -> dict[int, float]:

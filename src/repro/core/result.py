@@ -32,11 +32,26 @@ class TimingReport:
     #: scatter onto the surviving grid); exactly 0.0 unless the run
     #: regridded.  Also contained in ``total``.
     regrid: float = 0.0
+    #: Communication time *hidden* behind computation by split-phase
+    #: collectives; exactly 0.0 in blocking runs.  The inverse of the
+    #: recovery/regrid annotations: hidden seconds are contained in
+    #: ``comm`` but NOT in ``total`` (``total`` only pays the exposed
+    #: remainder, ``comm - overlap``).
+    overlap: float = 0.0
 
     @property
     def comm_fraction(self) -> float:
         """Share of total time spent communicating (paper Fig. 5)."""
         return self.comm / self.total if self.total > 0 else 0.0
+
+    @property
+    def overlap_fraction(self) -> float:
+        """Share of communication time hidden behind computation.
+
+        1.0 would mean every modeled comm second ran concurrently with
+        compute; 0.0 is a fully blocking (or comm-free) run.
+        """
+        return self.overlap / self.comm if self.comm > 0 else 0.0
 
     @property
     def recovery_fraction(self) -> float:
@@ -61,6 +76,7 @@ class TimingReport:
             compute=phase.compute,
             comm=phase.comm,
             per_iteration=per_iteration,
+            overlap=phase.overlap,
         )
 
 

@@ -47,6 +47,10 @@ class IterationTrace:
     bytes: int
     serial_messages: int
     transfers: int = 0
+    #: Comm seconds hidden behind compute by split-phase collectives
+    #: this iteration; 0.0 in blocking runs.  Contained in ``comm_s``
+    #: but not in ``total_s`` (see docs/MODEL.md).
+    overlap_s: float = 0.0
     calls_by_kind: dict[str, int] = field(default_factory=dict)
     by_kind: dict[str, dict[str, int]] = field(default_factory=dict)
     #: Fault events observed during this iteration (plain dicts with
@@ -64,6 +68,7 @@ class IterationTrace:
             "bytes": self.bytes,
             "serial_messages": self.serial_messages,
             "transfers": self.transfers,
+            "overlap_s": self.overlap_s,
             "calls_by_kind": dict(self.calls_by_kind),
             "by_kind": {k: dict(v) for k, v in self.by_kind.items()},
             "faults": [dict(f) for f in self.faults],
@@ -84,6 +89,7 @@ def _row(
         bytes=dc.total_bytes,
         serial_messages=dc.total_serial_messages,
         transfers=dc.total_transfers,
+        overlap_s=dt.overlap,
         calls_by_kind=dc.calls_by_kind(),
         by_kind=dc.summary(),
         faults=faults,
@@ -169,13 +175,14 @@ class TraceRecorder:
         buf = io.StringIO()
         writer = csv.writer(buf)
         writer.writerow(
-            ["iteration", "total_s", "compute_s", "comm_s", "bytes",
-             "serial_messages", "transfers", "calls", "faults"]
+            ["iteration", "total_s", "compute_s", "comm_s", "overlap_s",
+             "bytes", "serial_messages", "transfers", "calls", "faults"]
         )
         for r in rows:
             writer.writerow(
                 [r.iteration, f"{r.total_s:.9f}", f"{r.compute_s:.9f}",
-                 f"{r.comm_s:.9f}", r.bytes, r.serial_messages, r.transfers,
+                 f"{r.comm_s:.9f}", f"{r.overlap_s:.9f}", r.bytes,
+                 r.serial_messages, r.transfers,
                  sum(r.calls_by_kind.values()), len(r.faults)]
             )
         return buf.getvalue()
@@ -200,6 +207,7 @@ class TraceRecorder:
             "total_s": sum(r.total_s for r in rows),
             "compute_s": sum(r.compute_s for r in rows),
             "comm_s": sum(r.comm_s for r in rows),
+            "overlap_s": sum(r.overlap_s for r in rows),
             "bytes": sum(r.bytes for r in rows),
             "serial_messages": sum(r.serial_messages for r in rows),
             "transfers": sum(r.transfers for r in rows),

@@ -109,8 +109,17 @@ class ThreadedExecutor(RankExecutor):
 
     def __init__(self, max_workers: int | None = None):
         if max_workers is not None and max_workers < 1:
-            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
-        self._max_workers = max_workers or (os.cpu_count() or 1)
+            raise ValueError(
+                f"invalid executor spec ThreadedExecutor(max_workers="
+                f"{max_workers!r}): worker count must be >= 1; "
+                f"valid forms: 'serial', 'threads', 'threads:N' "
+                f"(integer N >= 1)"
+            )
+        # Explicit None check: ``max_workers or ...`` would silently
+        # turn a (hypothetical future) falsy value into the CPU count.
+        if max_workers is None:
+            max_workers = os.cpu_count() or 1
+        self._max_workers = max_workers
         self._pool: ThreadPoolExecutor | None = None
 
     @property

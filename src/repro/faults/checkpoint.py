@@ -30,6 +30,9 @@ import copy
 import hashlib
 import os
 import pickle
+import queue
+import tempfile
+import threading
 import warnings
 from dataclasses import dataclass, field
 from typing import Any, Optional
@@ -110,6 +113,69 @@ class Checkpoint:
         )
 
 
+class _AsyncWriter:
+    """Double-buffered background executor for checkpoint disk I/O.
+
+    A single daemon thread drains a FIFO of thunks (writes and prune
+    deletions, so a deletion never overtakes the write it follows); a
+    two-slot semaphore bounds the writes in flight — the classic double
+    buffer: one checkpoint may still be draining to disk while the next
+    save snapshots, but a third save blocks until a slot frees.  A
+    worker exception is stashed and re-raised on the next submit or
+    :meth:`flush`, so I/O failures surface on the run, not silently.
+    """
+
+    #: writes admitted before a save blocks (double buffering)
+    n_slots = 2
+
+    def __init__(self):
+        self._queue: "queue.Queue" = queue.Queue()
+        self._slots = threading.Semaphore(self.n_slots)
+        self._error: Optional[BaseException] = None
+        self._thread = threading.Thread(
+            target=self._run, name="repro-ckpt-writer", daemon=True
+        )
+        self._thread.start()
+
+    def _run(self) -> None:
+        while True:
+            item = self._queue.get()
+            try:
+                if item is None:
+                    return
+                fn, releases_slot = item
+                try:
+                    fn()
+                except BaseException as exc:  # noqa: BLE001 - re-raised on next op
+                    if self._error is None:
+                        self._error = exc
+                finally:
+                    if releases_slot:
+                        self._slots.release()
+            finally:
+                self._queue.task_done()
+
+    def _check(self) -> None:
+        if self._error is not None:
+            exc, self._error = self._error, None
+            raise RuntimeError("async checkpoint write failed") from exc
+
+    def submit(self, fn, *, is_write: bool) -> None:
+        self._check()
+        if is_write:
+            self._slots.acquire()
+        self._queue.put((fn, is_write))
+
+    def flush(self) -> None:
+        """Block until every queued operation has completed."""
+        self._queue.join()
+        self._check()
+
+    def close(self) -> None:
+        self._queue.put(None)
+        self._thread.join()
+
+
 class CheckpointManager:
     """Owns the checkpoint series for one run.
 
@@ -128,6 +194,16 @@ class CheckpointManager:
         every save (default 12 GB/s, PCIe 3.0 x16-ish).  ``None``
         disables cost charging (tests that compare against fault-free
         runs without checkpointing use this).
+    async_write:
+        Pickle to disk on a background writer thread instead of inline
+        (double-buffered; see :class:`_AsyncWriter`).  The modeled cost
+        is unchanged either way — ``save`` charges only the device →
+        host copy-out, because once the snapshot is in host memory the
+        drain to disk proceeds off the critical path.  Every write is
+        atomic (temp file + ``os.replace``), so ``restore`` /
+        :meth:`latest_on_disk` never observe a partial file; call
+        :meth:`flush` to force pending writes out (e.g. before reading
+        the directory from another process).
     """
 
     def __init__(
@@ -136,6 +212,7 @@ class CheckpointManager:
         directory: Optional[str] = None,
         keep: int = 2,
         checkpoint_bw: Optional[float] = 12e9,
+        async_write: bool = False,
     ):
         if interval < 1:
             raise ValueError(f"interval must be >= 1, got {interval}")
@@ -147,8 +224,11 @@ class CheckpointManager:
         self.checkpoint_bw = checkpoint_bw
         self.checkpoints: list[Checkpoint] = []
         self.saves = 0
+        self._writer: Optional[_AsyncWriter] = None
         if directory is not None:
             os.makedirs(directory, exist_ok=True)
+            if async_write:
+                self._writer = _AsyncWriter()
 
     # ------------------------------------------------------------------
     # saving
@@ -200,11 +280,30 @@ class CheckpointManager:
         return ckpt
 
     def _write(self, ckpt: Checkpoint) -> str:
+        """Write one checkpoint to disk (inline or on the async writer).
+
+        Either way the write is atomic — see :meth:`_write_sync` — so a
+        crash mid-write can never leave a torn file at the final path.
+        """
+        path = os.path.join(self.directory, f"ckpt_{ckpt.superstep:06d}.pkl")
+        if self._writer is not None:
+            self._writer.submit(
+                lambda: self._write_sync(ckpt, path), is_write=True
+            )
+        else:
+            self._write_sync(ckpt, path)
+        return path
+
+    def _write_sync(self, ckpt: Checkpoint, path: str) -> None:
         """Pickle one checkpoint to disk inside an integrity envelope.
 
         The envelope embeds the sha256 of the pickled checkpoint bytes
         so :meth:`load` can tell a bit-flipped or truncated file from a
-        healthy one instead of unpickling garbage.
+        healthy one instead of unpickling garbage.  The bytes go to a
+        temporary file in the same directory and are renamed into place
+        with ``os.replace``: a crash mid-write leaves the previous
+        checkpoint at ``path`` untouched (the temp file is debris, not
+        damage — :meth:`latest_on_disk` ignores it).
         """
         payload = pickle.dumps(ckpt, protocol=pickle.HIGHEST_PROTOCOL)
         envelope = {
@@ -212,10 +311,20 @@ class CheckpointManager:
             "sha256": hashlib.sha256(payload).hexdigest(),
             "payload": payload,
         }
-        path = os.path.join(self.directory, f"ckpt_{ckpt.superstep:06d}.pkl")
-        with open(path, "wb") as fh:
-            pickle.dump(envelope, fh, protocol=pickle.HIGHEST_PROTOCOL)
-        return path
+        fd, tmp_path = tempfile.mkstemp(
+            prefix=os.path.basename(path) + ".", suffix=".tmp",
+            dir=os.path.dirname(path) or ".",
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(envelope, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.remove(tmp_path)
+            except OSError:
+                pass
+            raise
 
     def adopt(self, ckpt: Checkpoint) -> None:
         """Replace the series with an externally produced checkpoint.
@@ -236,8 +345,31 @@ class CheckpointManager:
                 path = os.path.join(
                     self.directory, f"ckpt_{old.superstep:06d}.pkl"
                 )
-                if os.path.exists(path):
+                # Deletions ride the same FIFO as writes so a prune can
+                # never remove a file whose (re)write is still queued.
+                if self._writer is not None:
+                    self._writer.submit(
+                        lambda p=path: os.path.exists(p) and os.remove(p),
+                        is_write=False,
+                    )
+                elif os.path.exists(path):
                     os.remove(path)
+
+    def flush(self) -> None:
+        """Wait for every pending async write/delete to hit the disk.
+
+        No-op for synchronous managers.  Raises if a background write
+        failed since the last operation.
+        """
+        if self._writer is not None:
+            self._writer.flush()
+
+    def close(self) -> None:
+        """Flush pending I/O and stop the background writer (idempotent)."""
+        if self._writer is not None:
+            self._writer.flush()
+            self._writer.close()
+            self._writer = None
 
     # ------------------------------------------------------------------
     # loading

@@ -31,15 +31,44 @@ clocks' ``recovery`` lane and in the recorded
 from __future__ import annotations
 
 import zlib
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
 import numpy as np
 
-from ..comm.collectives import BroadcastCall, Communicator
+from ..comm.collectives import BroadcastCall, CollectiveHandle, Communicator
 from .injector import FaultInjector, RankFailure
 from .plan import FaultEvent, FaultSpec
 
-__all__ = ["ResilientCommunicator"]
+__all__ = ["GuardedHandle", "ResilientCommunicator"]
+
+
+@dataclass
+class GuardedHandle:
+    """A split-phase handle whose fault protocol runs at ``wait``.
+
+    Detection is end-to-end: a corruption or transient disruption of an
+    in-flight collective only surfaces when the receiver verifies the
+    payload, i.e. at completion — so the crash check, CRC verification,
+    and retry/backoff loop all run inside
+    :meth:`ResilientCommunicator.wait`, with retries charged to the
+    recovery lane exactly as on the blocking path.
+    """
+
+    inner: CollectiveHandle
+    payload: list[np.ndarray]
+
+    @property
+    def kind(self) -> str:
+        return self.inner.kind
+
+    @property
+    def ranks(self) -> tuple[int, ...]:
+        return self.inner.ranks
+
+    @property
+    def result(self):
+        return self.inner.result
 
 
 def _payload_checksum(arrays: Sequence[np.ndarray]) -> int:
@@ -223,6 +252,37 @@ class ResilientCommunicator:
         flat = [np.asarray(b) for row in send_matrix for b in row]
         self._guard("alltoallv", ranks, flat)
         return self.inner.alltoallv(ranks, send_matrix, nic_sharing=nic_sharing)
+
+    # ------------------------------------------------------------------
+    # decorated split-phase collectives (guarded at wait time)
+    # ------------------------------------------------------------------
+    def start_allreduce(self, ranks, buffers, op="sum", nic_sharing=1):
+        h = self.inner.start_allreduce(ranks, buffers, op=op, nic_sharing=nic_sharing)
+        # Verify the reduced payload the group ends up holding.
+        return GuardedHandle(h, [np.asarray(b) for b in buffers])
+
+    def start_allgatherv(self, ranks, send_buffers, nic_sharing=1):
+        h = self.inner.start_allgatherv(ranks, send_buffers, nic_sharing=nic_sharing)
+        return GuardedHandle(h, [np.asarray(h.result)])
+
+    def start_alltoallv(self, ranks, send_matrix, nic_sharing=1):
+        h = self.inner.start_alltoallv(ranks, send_matrix, nic_sharing=nic_sharing)
+        return GuardedHandle(h, [np.asarray(b) for b in h.result])
+
+    def wait(self, handle: GuardedHandle):
+        """Complete a guarded split-phase collective.
+
+        Runs the full fault protocol first — a crashed participant
+        raises :class:`RankFailure`, stragglers stall, and disrupted
+        attempts retry with exponential backoff charged through
+        ``charge_recovery`` (so retry time lands in the recovery lane
+        and, by advancing the group clocks before completion, counts as
+        overlap-window time rather than inflating the collective's own
+        comm charge).  Counters were recorded once at issue; retries
+        never inflate them.
+        """
+        self._guard(handle.kind, list(handle.ranks), handle.payload)
+        return self.inner.wait(handle.inner)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

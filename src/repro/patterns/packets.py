@@ -77,10 +77,22 @@ def packet_swap(engine: Engine, packets: list[np.ndarray]) -> list[np.ndarray]:
 
     splits = engine.map_ranks(split_cols)
     staged: list[np.ndarray] = [None] * grid.n_ranks  # type: ignore[list-item]
+    # On an overlapped engine hop 1 is issued split-phase: the staged
+    # buffers materialize at issue, the hop-2 splits compute against
+    # them while the exchanges are in flight, and the comm charge lands
+    # at the wait below (hiding the split compute).  See docs/MODEL.md.
+    handles = []
     for id_r, ranks in engine.row_groups():
-        received = engine.comm.alltoallv(
-            ranks, [splits[r] for r in ranks], nic_sharing=row_share
-        )
+        if engine.overlap:
+            h = engine.comm.start_alltoallv(
+                ranks, [splits[r] for r in ranks], nic_sharing=row_share
+            )
+            handles.append(h)
+            received = h.result
+        else:
+            received = engine.comm.alltoallv(
+                ranks, [splits[r] for r in ranks], nic_sharing=row_share
+            )
         for pos, r in enumerate(ranks):
             staged[r] = received[pos]
 
@@ -93,6 +105,8 @@ def packet_swap(engine: Engine, packets: list[np.ndarray]) -> list[np.ndarray]:
         return _split_by(buf, dest_rows, grid.C)
 
     splits = engine.map_ranks(split_rows)
+    for h in handles:
+        engine.comm.wait(h)
     delivered: list[np.ndarray] = [None] * grid.n_ranks  # type: ignore[list-item]
     for id_c, ranks in engine.col_groups():
         received = engine.comm.alltoallv(

@@ -30,6 +30,14 @@ and synchronize group clocks), and a **parallel apply** of each
 group's received buffer.  This is bit-identical to the historical
 fully-serial interleaving — see docs/PERF.md.
 
+On an overlapped engine (``Engine(overlap=True)``) each stage's group
+exchanges are *issued* split-phase instead: data and counters
+materialize at issue, the parallel apply runs against the in-flight
+buffers, and the comm-time charge lands at the trailing ``wait`` —
+hiding the apply compute behind each group's own exchange.  Values,
+counters, and the compute/comm lanes stay bit-identical to a blocking
+run; only exposed time shrinks (see docs/MODEL.md).
+
 Send buffers are recycled through each rank's own
 :meth:`~repro.core.context.RankContext.scratch_pool` (takes happen in
 the parallel build, gives in the sequential collective phase, so a
@@ -85,6 +93,35 @@ def _give_back(engine: Engine, sbufs_all: list[np.ndarray], ranks: list[int]) ->
         engine.ctx(r).scratch_pool(PAIR_DTYPE).give(sbufs_all[r])
 
 
+def _group_allgatherv(
+    engine: Engine,
+    ranks: list[int],
+    sbufs: list[np.ndarray],
+    nic_sharing: int,
+    handles: list,
+) -> np.ndarray:
+    """One group's AllGatherv, blocking or split-phase per the engine.
+
+    With ``engine.overlap`` the exchange is *issued* split-phase — data
+    and counters materialize now, the comm-time charge is deferred — and
+    the handle is appended to ``handles`` for the caller to wait after
+    the apply phase, hiding the apply compute behind the in-flight
+    exchange.  Blocking engines pay the comm charge here, exactly as
+    before; either way the returned buffer is bit-identical.
+    """
+    if engine.overlap:
+        h = engine.comm.start_allgatherv(ranks, sbufs, nic_sharing=nic_sharing)
+        handles.append(h)
+        return h.result
+    return engine.comm.allgatherv(ranks, sbufs, nic_sharing=nic_sharing)
+
+
+def _wait_all(engine: Engine, handles: list) -> None:
+    """Complete every in-flight exchange (no-op on blocking runs)."""
+    for h in handles:
+        engine.comm.wait(h)
+
+
 def _apply_op(
     state: np.ndarray,
     lids: np.ndarray,
@@ -137,10 +174,11 @@ def sparse_push(
 
     sbufs_all = engine.map_ranks(build_col)
 
+    handles: list = []
     rbuf_of: list[Optional[np.ndarray]] = [None] * grid.n_ranks
     for id_c, ranks in engine.col_groups():
-        rbuf = engine.comm.allgatherv(
-            ranks, [sbufs_all[r] for r in ranks], nic_sharing=col_share
+        rbuf = _group_allgatherv(
+            engine, ranks, [sbufs_all[r] for r in ranks], col_share, handles
         )
         _give_back(engine, sbufs_all, ranks)
         for r in ranks:
@@ -164,6 +202,7 @@ def sparse_push(
         return np.unique(cand[lm.owns_row_gid(cand)])
 
     row_queues_gids = engine.map_ranks(apply_col)
+    _wait_all(engine, handles)
 
     # ---- stage 2: exchange final values along each row group --------
     def build_row(ctx: RankContext) -> np.ndarray:
@@ -175,12 +214,13 @@ def sparse_push(
 
     sbufs_all = engine.map_ranks(build_row)
 
+    handles = []
     rbuf_of = [None] * grid.n_ranks
     uniq_of: list[Optional[np.ndarray]] = [None] * grid.n_ranks
     n_updated = 0
     for id_r, ranks in engine.row_groups():
-        rbuf = engine.comm.allgatherv(
-            ranks, [sbufs_all[r] for r in ranks], nic_sharing=row_share
+        rbuf = _group_allgatherv(
+            engine, ranks, [sbufs_all[r] for r in ranks], row_share, handles
         )
         _give_back(engine, sbufs_all, ranks)
         uniq_gids = np.unique(rbuf["gid"])
@@ -200,6 +240,7 @@ def sparse_push(
         return lm.row_lid(uniq_of[ctx.rank])
 
     active_row = engine.map_ranks(apply_row)
+    _wait_all(engine, handles)
     return SparseResult(active_row=active_row, n_updated=n_updated)
 
 
@@ -228,10 +269,11 @@ def sparse_pull(
 
     sbufs_all = engine.map_ranks(build_row)
 
+    handles: list = []
     rbuf_of: list[Optional[np.ndarray]] = [None] * grid.n_ranks
     for id_r, ranks in engine.row_groups():
-        rbuf = engine.comm.allgatherv(
-            ranks, [sbufs_all[r] for r in ranks], nic_sharing=row_share
+        rbuf = _group_allgatherv(
+            engine, ranks, [sbufs_all[r] for r in ranks], row_share, handles
         )
         _give_back(engine, sbufs_all, ranks)
         for r in ranks:
@@ -255,6 +297,7 @@ def sparse_pull(
         return cand, cand[lm.owns_col_gid(cand)], lm.row_lid(cand)
 
     applied = engine.map_ranks(apply_row)
+    _wait_all(engine, handles)
     col_queues_gids = [a[1] for a in applied]
     active_row = [a[2] for a in applied]
     # ``cand`` is identical on every member of a row group, so each
@@ -273,10 +316,11 @@ def sparse_pull(
 
     sbufs_all = engine.map_ranks(build_col)
 
+    handles = []
     rbuf_of = [None] * grid.n_ranks
     for id_c, ranks in engine.col_groups():
-        rbuf = engine.comm.allgatherv(
-            ranks, [sbufs_all[r] for r in ranks], nic_sharing=col_share
+        rbuf = _group_allgatherv(
+            engine, ranks, [sbufs_all[r] for r in ranks], col_share, handles
         )
         _give_back(engine, sbufs_all, ranks)
         for r in ranks:
@@ -290,6 +334,7 @@ def sparse_pull(
         engine.charge_vertices(ctx.rank, rbuf.size)
 
     engine.foreach(apply_col)
+    _wait_all(engine, handles)
     return SparseResult(active_row=active_row, n_updated=n_updated)
 
 
@@ -321,10 +366,11 @@ def propagate_active_pull(
     neighbor_gids = engine.map_ranks(expand_neighbors)
 
     # Column stage: route neighbor GIDs to their row owners.
+    handles: list = []
     rbuf_of: list[Optional[np.ndarray]] = [None] * grid.n_ranks
     for id_c, ranks in engine.col_groups():
-        rbuf = engine.comm.allgatherv(
-            ranks, [neighbor_gids[r] for r in ranks], nic_sharing=col_share
+        rbuf = _group_allgatherv(
+            engine, ranks, [neighbor_gids[r] for r in ranks], col_share, handles
         )
         for r in ranks:
             rbuf_of[r] = rbuf
@@ -336,13 +382,15 @@ def propagate_active_pull(
         return np.unique(rbuf[lm.owns_row_gid(rbuf)])
 
     partial = engine.map_ranks(keep_owned)
+    _wait_all(engine, handles)
 
     # Row stage: union into a row-group-consistent active queue.
+    handles = []
     merged_of: list[Optional[np.ndarray]] = [None] * grid.n_ranks
     rbuf_sizes = [0] * grid.n_ranks
     for id_r, ranks in engine.row_groups():
-        rbuf = engine.comm.allgatherv(
-            ranks, [partial[r] for r in ranks], nic_sharing=row_share
+        rbuf = _group_allgatherv(
+            engine, ranks, [partial[r] for r in ranks], row_share, handles
         )
         merged = np.unique(rbuf)
         for r in ranks:
@@ -353,4 +401,6 @@ def propagate_active_pull(
         engine.charge_vertices(ctx.rank, rbuf_sizes[ctx.rank])
         return ctx.localmap.row_lid(merged_of[ctx.rank])
 
-    return engine.map_ranks(to_active)
+    active = engine.map_ranks(to_active)
+    _wait_all(engine, handles)
+    return active

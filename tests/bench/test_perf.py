@@ -34,6 +34,28 @@ class TestRunPerf:
         entry = run_perf(scale=6, ranks=4, repeats=1, primitives=False)
         assert "primitives" not in entry
 
+    def test_no_modeled_by_default(self, entry):
+        assert "modeled" not in entry
+
+    def test_modeled_section(self):
+        entry = run_perf(
+            scale=6, ranks=4, repeats=1, primitives=False, modeled=True
+        )
+        m = entry["modeled"]
+        assert set(m) == {"BFS", "PR", "CC", "SpMV"}
+        for name, algo in m.items():
+            blk, ovl = algo["blocking"], algo["overlapped"]
+            # bit-identity contract: only the total may shrink
+            assert blk["comm_s"] == ovl["comm_s"], name
+            assert blk["compute_s"] == ovl["compute_s"], name
+            assert ovl["total_s"] <= blk["total_s"], name
+            assert blk["overlap_s"] == 0.0, name
+            assert 0.0 <= ovl["overlap_fraction"] <= 1.0, name
+            assert algo["speedup"] >= 1.0, name
+        assert m["PR"]["overlapped"]["overlap_fraction"] > 0
+        assert m["SpMV"]["overlapped"]["overlap_fraction"] > 0
+        json.dumps(entry)
+
     def test_entry_is_json_serializable(self, entry):
         json.dumps(entry)
 

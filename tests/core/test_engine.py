@@ -159,3 +159,85 @@ class TestScheduleCache:
         e = Engine(rmat_graph, 4)
         e.schedule_stats(e.ctx(0).local_degrees())
         assert e._schedule_cache == {}
+
+
+class TestScheduleCacheAcrossRegrids:
+    @staticmethod
+    def _count_schedules(monkeypatch):
+        import repro.core.engine as engine_mod
+
+        calls = {"n": 0}
+        real = engine_mod.manhattan_schedule
+
+        def counting(degrees):
+            calls["n"] += 1
+            return real(degrees)
+
+        monkeypatch.setattr(engine_mod, "manhattan_schedule", counting)
+        return calls
+
+    def test_shrink_revisiting_grid_hits_warm_cache(self, rmat_graph, monkeypatch):
+        from repro.comm.grid import square_grid
+
+        calls = self._count_schedules(monkeypatch)
+        e16 = Engine(rmat_graph, 16)
+        for rank in range(16):
+            e16.schedule_stats(
+                e16.ctx(rank).local_degrees(), cache_key="pr.full", rank=rank
+            )
+        assert calls["n"] == 16
+
+        # A regrid onto a different grid is a different scope: cold.
+        e4 = e16.rebuild_on_grid(square_grid(4))
+        for rank in range(4):
+            e4.schedule_stats(
+                e4.ctx(rank).local_degrees(), cache_key="pr.full", rank=rank
+            )
+        assert calls["n"] == 20
+
+        # Regridding back onto the original grid finds that grid's
+        # entries warm — the cache is shared across generations, not
+        # rebuilt from cold (the pre-fix behavior).
+        e16b = e4.rebuild_on_grid(square_grid(16))
+        for rank in range(16):
+            e16b.schedule_stats(
+                e16b.ctx(rank).local_degrees(), cache_key="pr.full", rank=rank
+            )
+        assert calls["n"] == 20
+        assert e16b._schedule_cache is e16._schedule_cache
+
+    def test_grid_scopes_never_collide(self, rmat_graph, monkeypatch):
+        from repro.comm.grid import square_grid
+
+        calls = self._count_schedules(monkeypatch)
+        e16 = Engine(rmat_graph, 16)
+        degs = e16.ctx(0).local_degrees()
+        e16.schedule_stats(degs, cache_key="x.full", rank=0)
+        e4 = e16.rebuild_on_grid(square_grid(4))
+        # same rank + key but a different grid must not reuse the entry
+        # (the degree arrays differ between partitions).
+        e4.schedule_stats(e4.ctx(0).local_degrees(), cache_key="x.full", rank=0)
+        assert calls["n"] == 2
+
+
+class TestOverlapConfig:
+    def test_rebuild_preserves_overlap(self, rmat_graph):
+        from repro.comm.grid import square_grid
+
+        e = Engine(rmat_graph, 16, overlap=True)
+        assert e.overlap is True
+        new = e.rebuild_on_grid(square_grid(4))
+        assert new.overlap is True
+
+    def test_env_var_enables_overlap(self, rmat_graph, monkeypatch):
+        from repro.core.engine import OVERLAP_ENV_VAR
+
+        monkeypatch.setenv(OVERLAP_ENV_VAR, "true")
+        assert Engine(rmat_graph, 4).overlap is True
+        monkeypatch.setenv(OVERLAP_ENV_VAR, "0")
+        assert Engine(rmat_graph, 4).overlap is False
+        monkeypatch.delenv(OVERLAP_ENV_VAR)
+        assert Engine(rmat_graph, 4).overlap is False
+        # an explicit argument wins over the environment
+        monkeypatch.setenv(OVERLAP_ENV_VAR, "1")
+        assert Engine(rmat_graph, 4, overlap=False).overlap is False

@@ -173,6 +173,90 @@ def test_threaded_matches_serial_weighted(wgraph, name):
     _assert_identical(a, b, name)
 
 
+def _assert_overlap_equivalent(blocking, overlapped, name):
+    """Blocking vs overlapped: everything bit-identical except the
+    total, which may only shrink — by exactly the time the overlap lane
+    reports as hidden behind compute."""
+    if blocking.values is None:
+        assert overlapped.values is None
+    else:
+        assert np.array_equal(blocking.values, overlapped.values), (
+            f"{name}: values differ"
+        )
+    assert blocking.iterations == overlapped.iterations, f"{name}: iterations"
+    assert blocking.timings.compute == overlapped.timings.compute, (
+        f"{name}: compute lane differs"
+    )
+    assert blocking.timings.comm == overlapped.timings.comm, (
+        f"{name}: comm lane differs"
+    )
+    assert blocking.counters == overlapped.counters, f"{name}: counters differ"
+    assert blocking.timings.overlap == 0.0, f"{name}: blocking run hid comm"
+    assert overlapped.timings.overlap >= 0.0
+    assert overlapped.timings.total <= blocking.timings.total, (
+        f"{name}: overlapped run slower than blocking"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(UNWEIGHTED))
+def test_overlapped_matches_blocking(graph, name):
+    # overlap=False explicitly: the blocking reference must stay
+    # blocking even when the suite runs under REPRO_OVERLAP=1.
+    runner = UNWEIGHTED[name]
+    blocking = runner(
+        Engine(graph, 16, executor=SerialExecutor(), overlap=False)
+    )
+    overlapped = runner(
+        Engine(graph, 16, executor=SerialExecutor(), overlap=True)
+    )
+    _assert_overlap_equivalent(blocking, overlapped, name)
+
+
+@pytest.mark.parametrize("name", sorted(WEIGHTED))
+def test_overlapped_matches_blocking_weighted(wgraph, name):
+    runner = WEIGHTED[name]
+    blocking = runner(
+        Engine(wgraph, 16, executor=SerialExecutor(), overlap=False)
+    )
+    overlapped = runner(
+        Engine(wgraph, 16, executor=SerialExecutor(), overlap=True)
+    )
+    _assert_overlap_equivalent(blocking, overlapped, name)
+
+
+@pytest.mark.parametrize("name", sorted(UNWEIGHTED))
+def test_overlapped_threaded_matches_overlapped_serial(graph, name):
+    """Overlap and the threaded executor compose: an overlapped run is
+    fully deterministic (totals included) across executors."""
+    runner = UNWEIGHTED[name]
+    a = runner(Engine(graph, 16, executor=SerialExecutor(), overlap=True))
+    b = runner(
+        Engine(
+            graph, 16, executor=ThreadedExecutor(max_workers=4), overlap=True
+        )
+    )
+    _assert_identical(a, b, name)
+    assert a.timings.overlap == b.timings.overlap, f"{name}: overlap differs"
+
+
+def test_overlap_hides_comm_on_pagerank(graph):
+    """PageRank's dangling AllReduce and stage-pipelined exchanges must
+    actually hide time, not just stay correct."""
+    overlapped = _pagerank(Engine(graph, 16, overlap=True))
+    assert overlapped.timings.overlap > 0.0
+    assert 0.0 < overlapped.timings.overlap_fraction <= 1.0
+
+
+def test_overlap_env_var(graph, monkeypatch):
+    from repro.core.engine import OVERLAP_ENV_VAR
+
+    monkeypatch.setenv(OVERLAP_ENV_VAR, "1")
+    from_env = _pagerank(Engine(graph, 16))
+    explicit = _pagerank(Engine(graph, 16, overlap=True))
+    _assert_identical(from_env, explicit, "pagerank-env")
+    assert from_env.timings.overlap > 0.0
+
+
 def test_repeated_threaded_runs_identical(graph):
     """The threaded executor is deterministic run-to-run, not just
     serial-vs-threaded."""

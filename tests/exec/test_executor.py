@@ -90,6 +90,23 @@ class TestSerialExecutor:
 
 
 class TestThreadedExecutor:
+    @pytest.mark.parametrize("count", [0, -1, -7])
+    def test_nonpositive_workers_rejected_naming_spec(self, count):
+        """``max_workers=0`` must fail loudly at construction, in the
+        same spec-naming style as ``resolve_executor``."""
+        with pytest.raises(ValueError) as exc:
+            ThreadedExecutor(max_workers=count)
+        msg = str(exc.value)
+        assert "invalid executor spec" in msg
+        assert f"max_workers={count!r}" in msg
+        assert "valid forms" in msg
+
+    def test_none_sizes_to_cpu_count(self):
+        import os
+
+        ex = ThreadedExecutor(max_workers=None)
+        assert ex.workers == (os.cpu_count() or 1)
+
     def test_preserves_submission_order(self):
         ex = ThreadedExecutor(max_workers=4)
         try:

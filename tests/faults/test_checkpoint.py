@@ -274,3 +274,216 @@ class TestCorruptionDetection:
                 fh.write(b"garbage")
         with pytest.warns(UserWarning):
             assert CheckpointManager.latest_on_disk(str(tmp_path)) is None
+
+
+class TestAtomicWrites:
+    def _crashing_dump(self, monkeypatch, after_bytes=64):
+        """Make the next pickle.dump write a partial prefix, then die —
+        a process crash mid-stream, from the file's point of view."""
+        import repro.faults.checkpoint as ckpt_mod
+
+        real_dumps = pickle.dumps
+
+        def dump_partial(obj, fh, protocol=None):
+            data = real_dumps(obj, protocol or pickle.HIGHEST_PROTOCOL)
+            fh.write(data[:after_bytes])
+            fh.flush()
+            raise OSError("simulated crash mid-write")
+
+        monkeypatch.setattr(ckpt_mod.pickle, "dump", dump_partial)
+
+    def test_crash_mid_write_preserves_previous_checkpoint(
+        self, tmp_path, monkeypatch
+    ):
+        engine = small_engine()
+        mgr = CheckpointManager(
+            interval=1, directory=str(tmp_path), checkpoint_bw=None
+        )
+        engine.attach_checkpoints(mgr)
+        algorithms.pagerank(engine, iterations=2)
+        survivor = CheckpointManager.latest_on_disk(str(tmp_path))
+        assert survivor.superstep == 2
+
+        # The next superstep's save dies mid-stream ...
+        self._crashing_dump(monkeypatch)
+        with pytest.raises(OSError, match="simulated crash"):
+            mgr.save(engine, 3, "pagerank", {"iterations_run": 3, "done": False})
+        monkeypatch.undo()
+
+        # ... and the on-disk series is undamaged: no torn ckpt_3 file,
+        # no temp debris picked up, and the previous checkpoint loads
+        # bit-identically.
+        assert not (tmp_path / "ckpt_000003.pkl").exists()
+        recovered = CheckpointManager.latest_on_disk(str(tmp_path))
+        assert recovered.superstep == survivor.superstep
+        assert recovered.counters == survivor.counters
+        for a, b in zip(recovered.states, survivor.states):
+            assert sorted(a) == sorted(b)
+            for name in a:
+                assert np.array_equal(a[name], b[name])
+
+    def test_crash_rewriting_same_file_preserves_old_contents(
+        self, tmp_path, monkeypatch
+    ):
+        """Overwriting an existing checkpoint path (same superstep, e.g.
+        after adopt or a restarted run) must be all-or-nothing too."""
+        engine = small_engine()
+        mgr = CheckpointManager(
+            interval=1, directory=str(tmp_path), checkpoint_bw=None
+        )
+        first = mgr.save(engine, 1, "x", {"gen": 1})
+        path = tmp_path / "ckpt_000001.pkl"
+        before = path.read_bytes()
+
+        self._crashing_dump(monkeypatch)
+        with pytest.raises(OSError, match="simulated crash"):
+            mgr.save(engine, 1, "x", {"gen": 2})
+        monkeypatch.undo()
+
+        assert path.read_bytes() == before
+        assert CheckpointManager.load(str(path)).algo_state == first.algo_state
+
+    def test_no_temp_debris_after_healthy_writes(self, tmp_path):
+        engine = small_engine()
+        mgr = CheckpointManager(
+            interval=1, directory=str(tmp_path), checkpoint_bw=None
+        )
+        engine.attach_checkpoints(mgr)
+        algorithms.pagerank(engine, iterations=3)
+        assert all(not n.endswith(".tmp") for n in os.listdir(tmp_path))
+
+    def test_restore_after_crash_is_bit_identical(self, tmp_path, monkeypatch):
+        g = rmat(7, seed=3)
+        ref = algorithms.pagerank(Engine(g, 4), iterations=4)
+
+        engine = Engine(g, 4)
+        mgr = CheckpointManager(
+            interval=1, directory=str(tmp_path), checkpoint_bw=None
+        )
+        engine.attach_checkpoints(mgr)
+        algorithms.pagerank(engine, iterations=2)
+        # superstep 3's write dies mid-stream; superstep 2 must carry
+        # the resumed run to the reference result.
+        self._crashing_dump(monkeypatch)
+        with pytest.raises(OSError):
+            mgr.save(engine, 3, "pagerank", {"iterations_run": 3, "done": False})
+        monkeypatch.undo()
+
+        fresh = Engine(g, 4)
+        mgr2 = CheckpointManager(
+            interval=1, directory=str(tmp_path), checkpoint_bw=None
+        )
+        mgr2.checkpoints.append(CheckpointManager.latest_on_disk(str(tmp_path)))
+        fresh.attach_checkpoints(mgr2)
+        res = algorithms.pagerank(fresh, iterations=4, resume=True)
+        assert np.array_equal(res.values, ref.values)
+        assert res.timings.total == ref.timings.total
+
+
+class TestAsyncWrites:
+    def test_async_files_identical_to_sync(self, tmp_path):
+        g = rmat(7, seed=3)
+        sync_dir, async_dir = tmp_path / "sync", tmp_path / "async"
+
+        e1 = Engine(g, 4)
+        e1.attach_checkpoints(
+            CheckpointManager(interval=1, directory=str(sync_dir), checkpoint_bw=None)
+        )
+        algorithms.pagerank(e1, iterations=4)
+
+        e2 = Engine(g, 4)
+        mgr = CheckpointManager(
+            interval=1,
+            directory=str(async_dir),
+            checkpoint_bw=None,
+            async_write=True,
+        )
+        e2.attach_checkpoints(mgr)
+        algorithms.pagerank(e2, iterations=4)
+        mgr.flush()
+
+        assert sorted(os.listdir(sync_dir)) == sorted(os.listdir(async_dir))
+        for name in sorted(os.listdir(sync_dir)):
+            a = CheckpointManager.load(str(sync_dir / name))
+            b = CheckpointManager.load(str(async_dir / name))
+            assert a.superstep == b.superstep
+            assert a.counters == b.counters
+            for sa, sb in zip(a.states, b.states):
+                for key in sa:
+                    assert np.array_equal(sa[key], sb[key])
+
+    def test_async_charges_same_virtual_time_as_sync(self):
+        g = rmat(7, seed=3)
+        e1, e2 = Engine(g, 4), Engine(g, 4)
+        e1.attach_checkpoints(CheckpointManager(interval=1))
+        m2 = CheckpointManager(interval=1, directory=None)
+        e2.attach_checkpoints(m2)
+        r1 = algorithms.pagerank(e1, iterations=3)
+        r2 = algorithms.pagerank(e2, iterations=3)
+        # the copy-out charge is identical whether or not a disk drain
+        # follows (the drain is off the modeled critical path)
+        assert r1.timings.total == r2.timings.total
+        assert r1.timings.recovery == r2.timings.recovery
+
+    def test_prune_never_overtakes_write(self, tmp_path):
+        engine = small_engine()
+        mgr = CheckpointManager(
+            interval=1,
+            directory=str(tmp_path),
+            keep=1,
+            checkpoint_bw=None,
+            async_write=True,
+        )
+        engine.attach_checkpoints(mgr)
+        algorithms.pagerank(engine, iterations=5)
+        mgr.flush()
+        assert sorted(os.listdir(tmp_path)) == ["ckpt_000005.pkl"]
+        assert CheckpointManager.latest_on_disk(str(tmp_path)).superstep == 5
+
+    def test_latest_on_disk_healthy_while_writer_busy(self, tmp_path):
+        """Whatever latest_on_disk observes mid-run must be a complete,
+        healthy checkpoint (atomic publication), even with the writer
+        still draining."""
+        engine = small_engine()
+        mgr = CheckpointManager(
+            interval=1,
+            directory=str(tmp_path),
+            checkpoint_bw=None,
+            async_write=True,
+        )
+        engine.attach_checkpoints(mgr)
+        algorithms.pagerank(engine, iterations=4)
+        seen = CheckpointManager.latest_on_disk(str(tmp_path))
+        assert seen is None or isinstance(seen.superstep, int)
+        mgr.flush()
+        assert CheckpointManager.latest_on_disk(str(tmp_path)).superstep == 4
+
+    def test_background_error_surfaces_on_flush(self, tmp_path, monkeypatch):
+        mgr = CheckpointManager(
+            interval=1,
+            directory=str(tmp_path),
+            checkpoint_bw=None,
+            async_write=True,
+        )
+        monkeypatch.setattr(
+            mgr,
+            "_write_sync",
+            lambda ckpt, path: (_ for _ in ()).throw(OSError("disk full")),
+        )
+        engine = small_engine()
+        mgr.save(engine, 1, "x", {})
+        with pytest.raises(RuntimeError, match="async checkpoint write failed"):
+            mgr.flush()
+
+    def test_close_is_idempotent(self, tmp_path):
+        mgr = CheckpointManager(
+            interval=1,
+            directory=str(tmp_path),
+            checkpoint_bw=None,
+            async_write=True,
+        )
+        engine = small_engine()
+        mgr.save(engine, 1, "x", {})
+        mgr.close()
+        mgr.close()
+        assert CheckpointManager.latest_on_disk(str(tmp_path)).superstep == 1

@@ -145,3 +145,16 @@ class TestPerf:
         text = capsys.readouterr().out
         assert "algorithms:" in text
         assert "primitives:" not in text
+
+    def test_perf_overlap_prints_modeled_comparison(self, capsys, tmp_path):
+        out = tmp_path / "traj.json"
+        rc = main(
+            ["perf", "--scale", "6", "--ranks", "4", "--repeats", "1",
+             "--no-primitives", "--overlap", "--out", str(out)]
+        )
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "modeled (virtual clock" in text
+        assert "SpMV" in text
+        doc = json.loads(out.read_text())
+        assert set(doc["entries"][0]["modeled"]) == {"BFS", "PR", "CC", "SpMV"}
