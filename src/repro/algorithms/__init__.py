@@ -12,6 +12,7 @@ Pointer jumping (PJ)             :func:`repro.algorithms.pointerjump.pointer_jum
 ==============================  ==========================================
 """
 
+from .batch import bfs_batch, pagerank_batch, sssp_batch, validate_roots
 from .betweenness import betweenness
 from .bfs import ALPHA, BETA, bfs, pseudo_diameter
 from .coloring import greedy_coloring, is_proper_coloring
@@ -29,6 +30,10 @@ __all__ = [
     "BETA",
     "betweenness",
     "bfs",
+    "bfs_batch",
+    "pagerank_batch",
+    "sssp_batch",
+    "validate_roots",
     "pseudo_diameter",
     "greedy_coloring",
     "is_proper_coloring",

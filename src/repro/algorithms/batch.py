@@ -1,0 +1,748 @@
+"""Lane-batched multi-source traversal: k queries, one superstep stream.
+
+The paper's cost model is dominated at scale by per-collective α terms,
+so k independent queries run sequentially pay k traversals' worth of
+latency.  These entry points instead run k query *lanes* through one
+BSP superstep stream over ``(N_T, k)`` state arrays: every sparse
+exchange ships one fused ``{gid, lane, val}`` buffer carrying all live
+frontiers (:func:`~repro.patterns.sparse.sparse_push_lanes`), and every
+dense sweep/AllReduce carries a k-column slice
+(:func:`~repro.patterns.dense.dense_exchange_lanes`) — one α charge per
+collective where k sequential runs pay k.  Per-lane convergence masks
+retire finished queries mid-stream, shrinking the buffers as lanes
+drain; for BFS each lane additionally keeps its *own* hybrid push/pull
+switching state, so a lane deep in bottom-up territory can run a dense
+slice exchange in the same superstep other lanes still push sparsely.
+
+The correctness contract is strict bit-identity: lane ``l`` of a
+batched run produces exactly the arrays of the corresponding
+single-source run (same roots, same engine configuration).  Every
+fused kernel is built so each lane's update subsequence is applied in
+the order the 1-D code would use (see
+:func:`~repro.kernels.scatter_reduce_lanes`), queues stay lane-major so
+within-lane GID order matches the 1-D sorted queues, and per-lane
+scalar reductions (frontier edge counts, dangling mass, deltas) reuse
+the exact 1-D operand sequences.
+
+``k == 1`` degenerates to the single-source code path by construction:
+each batch function delegates to its scalar counterpart and reshapes
+the result, so a batch of one is the single-source run.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.engine import Engine
+from ..core.result import AlgorithmResult
+from ..kernels import scatter_reduce_lanes
+from ..patterns.dense import dense_exchange_lanes
+from ..patterns.sparse import sparse_push_lanes
+from .bfs import ALPHA, BETA, bfs
+from .pagerank import compute_global_degrees, pagerank
+from .sssp import sssp
+
+__all__ = ["bfs_batch", "sssp_batch", "pagerank_batch", "validate_roots"]
+
+INF = np.inf
+
+_EMPTY_I64 = np.empty(0, dtype=np.int64)
+
+
+def validate_roots(n: int, roots, what: str = "roots") -> np.ndarray:
+    """Validate a batch's source list: non-empty, in-range, no dupes.
+
+    Duplicate sources are rejected rather than silently fused — two
+    identical lanes would waste a lane's worth of state and bandwidth;
+    the caller should deduplicate and fan the result back out.
+    """
+    roots = np.asarray(roots, dtype=np.int64).ravel()
+    if roots.size == 0:
+        raise ValueError(f"{what} must be non-empty")
+    bad = roots[(roots < 0) | (roots >= n)]
+    if bad.size:
+        raise ValueError(f"{what} out of range [0, {n}): {bad.tolist()}")
+    uniq, counts = np.unique(roots, return_counts=True)
+    if (counts > 1).any():
+        raise ValueError(f"duplicate {what}: {uniq[counts > 1].tolist()}")
+    return roots
+
+
+def _lane_frontier_sizes(
+    engine: Engine, frontier: list, k: int
+) -> np.ndarray:
+    """Per-lane global frontier cardinality (one row-group rep each)."""
+    total = np.zeros(k, dtype=np.int64)
+    for id_r, ranks in engine.row_groups():
+        lids, lanes = frontier[ranks[0]]
+        if lanes.size:
+            total += np.bincount(lanes, minlength=k)
+    return total
+
+
+def bfs_batch(
+    engine: Engine,
+    roots,
+    alpha: float = ALPHA,
+    beta: float = BETA,
+    hybrid: bool = True,
+) -> AlgorithmResult:
+    """Hybrid BFS from ``k`` roots in one fused superstep stream.
+
+    ``values`` is an ``(n, k)`` parent matrix (column ``l`` ==
+    ``bfs(engine, roots[l]).values``, bit-identical); ``extra`` carries
+    the matching ``(n, k)`` ``levels`` plus per-lane ``n_visited`` and
+    ``directions`` logs.  Each lane switches push/pull independently
+    with the same Beamer heuristic and retires as soon as its frontier
+    empties; live lanes keep sharing one exchange per superstep.
+    """
+    part, grid = engine.partition, engine.grid
+    n = part.n_vertices
+    roots = validate_roots(n, roots)
+    k = roots.size
+    if k == 1:
+        res = bfs(engine, int(roots[0]), alpha=alpha, beta=beta, hybrid=hybrid)
+        return AlgorithmResult(
+            values=res.values.reshape(-1, 1),
+            timings=res.timings,
+            iterations=res.iterations,
+            counters=res.counters,
+            extra={
+                "levels": res.extra["levels"].reshape(-1, 1),
+                "n_visited": [res.extra["n_visited"]],
+                "directions": [res.extra["directions"]],
+                "roots": [int(roots[0])],
+            },
+        )
+    roots_rel = part.perm[roots].astype(np.int64)
+
+    engine.reset_timers()
+    compute_global_degrees(engine)
+    m_total = 0.0
+
+    def alloc_state(ctx):
+        ctx.alloc("parent", np.float64, fill=INF, width=k)
+        ctx.alloc("level", np.float64, fill=INF, width=k)
+
+    engine.foreach(alloc_state)
+    for id_r, ranks in engine.row_groups():
+        ctx0 = engine.ctx(ranks[0])
+        m_total += float(ctx0.get("deg")[ctx0.row_slice].sum())
+
+    # Seed every root in its lane, everywhere it is visible.
+    def seed_roots(ctx):
+        lm = ctx.localmap
+        parent = ctx.get("parent")
+        level = ctx.get("level")
+        entry_lids, entry_lanes = [], []
+        degs = np.full(k, np.nan)
+        for lane in range(k):
+            rr = int(roots_rel[lane])
+            lids = []
+            if lm.row_start <= rr < lm.row_stop:
+                lids.append(lm.row_lid(rr))
+            if lm.col_start <= rr < lm.col_stop:
+                lids.append(lm.col_lid(rr))
+            for lid in lids:
+                parent[lid, lane] = roots[lane]
+                level[lid, lane] = 0.0
+            if lids:
+                degs[lane] = float(ctx.get("deg")[lids[0]])
+            if lm.row_start <= rr < lm.row_stop:
+                entry_lids.append(lm.row_lid(rr))
+                entry_lanes.append(lane)
+        return (
+            np.asarray(entry_lids, dtype=np.int64),
+            np.asarray(entry_lanes, dtype=np.int64),
+        ), degs
+
+    # Per-rank GID lookup tables (float64, built once): translating a
+    # candidate parent in the edge loops becomes a single gather
+    # instead of two GID-arithmetic passes plus a cast per superstep.
+    def gid_tables(ctx):
+        lm = ctx.localmap
+        rs, cs = ctx.row_slice, ctx.col_slice
+        row_tab = part.original_gid(
+            lm.row_gid(np.arange(rs.start, rs.stop, dtype=np.int64))
+        ).astype(np.float64)
+        col_tab = part.original_gid(
+            lm.col_gid(np.arange(cs.start, cs.stop, dtype=np.int64))
+        ).astype(np.float64)
+        return row_tab, col_tab
+
+    gid_tab = engine.map_ranks(gid_tables)
+
+    # Every rank in a row group holds the identical row-window state
+    # after each exchange, so frontier lists are computed once by the
+    # group's first rank and aliased to the rest.
+    row_leader = [0] * grid.n_ranks
+    for _id_r, _ranks in engine.row_groups():
+        for _r in _ranks:
+            row_leader[_r] = _ranks[0]
+
+    seeded = engine.map_ranks(seed_roots)
+    frontier = [entry for entry, _ in seeded]
+    root_deg = np.array(
+        [
+            next((d[lane] for _, d in seeded if not np.isnan(d[lane])), 0.0)
+            for lane in range(k)
+        ]
+    )
+
+    n_visited = np.ones(k, dtype=np.int64)
+    m_frontier = root_deg.copy()
+    m_frontier_prev = np.zeros(k)
+    m_unvisited = m_total - root_deg
+    bottom_up = np.zeros(k, dtype=bool)
+    lane_done = np.zeros(k, dtype=bool)
+    depth = 0
+    direction_log: list[list[str]] = [[] for _ in range(k)]
+
+    while not lane_done.all():
+        depth += 1
+        fsize = _lane_frontier_sizes(engine, frontier, k)
+        for lane in np.flatnonzero(~lane_done):
+            if hybrid:
+                growing = m_frontier[lane] > m_frontier_prev[lane]
+                if (
+                    not bottom_up[lane]
+                    and growing
+                    and m_frontier[lane] > m_unvisited[lane] / alpha
+                ):
+                    bottom_up[lane] = True
+                elif bottom_up[lane] and (
+                    n_visited[lane] >= n or fsize[lane] < n / beta
+                ):
+                    bottom_up[lane] = False
+            direction_log[lane].append(
+                "bottom-up" if bottom_up[lane] else "top-down"
+            )
+        push_set = ~lane_done & ~bottom_up
+        pull_lanes = np.flatnonzero(~lane_done & bottom_up)
+        n_upd = np.zeros(k, dtype=np.int64)
+
+        result = None
+        if push_set.any():
+            # Top-down lanes: one fused expansion over every push
+            # lane's frontier, one fused sparse exchange.
+            def top_down(ctx):
+                parent = ctx.get("parent")
+                lids, lanes_f = frontier[ctx.rank]
+                sel = push_set[lanes_f]
+                rows, rlanes = lids[sel], lanes_f[sel]
+                degs = ctx.local_degrees()[rows - ctx.localmap.row_offset]
+                engine.charge_edges(ctx.rank, degs)
+                src, dst, _ = ctx.expand(rows)
+                if dst.size == 0:
+                    return _EMPTY_I64, _EMPTY_I64
+                edge_lanes = np.repeat(rlanes, degs)
+                unvisited = parent[dst, edge_lanes] == INF
+                src = src[unvisited]
+                dst = dst[unvisited]
+                edge_lanes = edge_lanes[unvisited]
+                cand_parent = gid_tab[ctx.rank][0][
+                    src - ctx.row_slice.start
+                ]
+                return scatter_reduce_lanes(
+                    parent, dst, cand_parent, "min", lanes=edge_lanes
+                )
+
+            queues = engine.map_ranks(top_down)
+            result = sparse_push_lanes(engine, "parent", queues, op="min")
+            n_upd += result.n_updated
+
+        flags_handle = None
+        if pull_lanes.size:
+            # Bottom-up lanes share one expansion: the lanes' unvisited
+            # sets overlap heavily in this regime, so the union of
+            # their rows is expanded once and every lane filters the
+            # same edge stream through one 2-D gather — this row reuse
+            # (impossible for k sequential runs) is where the batch
+            # beats sequential wall-clock, not just collective counts.
+            # MIN is order-independent, so sharing cannot perturb the
+            # per-lane results.
+            L = int(pull_lanes.size)
+            n_chunks = (L + 7) // 8
+            Lp = 8 * n_chunks
+
+            def bottom_up_scan(ctx):
+                parent = ctx.get("parent")
+                level = ctx.get("level")
+                lm = ctx.localmap
+                rs = ctx.row_slice
+                cs = ctx.col_slice
+                pw = parent[rs]
+                lw = level[cs]
+                if L != k:
+                    pw = pw[:, pull_lanes]
+                    lw = lw[:, pull_lanes]
+                # Expansion sources live in the row window and targets
+                # in the column window, so the per-cell masks only need
+                # those slices.  The L per-lane bool masks, padded to a
+                # byte multiple, ARE a packed bitmask when reinterpreted
+                # as uint64 words (little-endian byte per lane): no
+                # arithmetic packs them, the edge stream takes two
+                # scalar gathers and one AND per 8-lane word, and the
+                # surviving words viewed back as bytes are directly the
+                # (edge, lane) candidate matrix.
+                rb = np.zeros((pw.shape[0], Lp), dtype=bool)
+                cb = np.zeros((lw.shape[0], Lp), dtype=bool)
+                np.equal(pw, INF, out=rb[:, :L])
+                np.equal(lw, depth - 1, out=cb[:, :L])
+                row64 = rb.view(np.uint64)
+                col64 = cb.view(np.uint64)
+                row_any = row64[:, 0]
+                for c in range(1, n_chunks):
+                    row_any = row_any | row64[:, c]
+                rows_rel = np.flatnonzero(row_any != 0)
+                rows = rows_rel + rs.start
+                degs = ctx.local_degrees()[rows - lm.row_offset]
+                engine.charge_edges(ctx.rank, degs)
+                src, dst, _ = ctx.expand(rows)
+                if dst.size:
+                    gtab = gid_tab[ctx.rank][1]
+                    pflat = parent.reshape(-1)
+                    src_rel = src - rs.start
+                    dst_rel = dst - cs.start
+                    for c in range(n_chunks):
+                        eb = row64[src_rel, c] & col64[dst_rel, c]
+                        ne = np.flatnonzero(eb != 0)
+                        if not ne.size:
+                            continue
+                        # One composite-index MIN over every (edge,
+                        # lane) candidate of this 8-lane word: the
+                        # surviving words viewed back as bytes are the
+                        # flattened (edge, lane) candidate matrix, and
+                        # no change set is produced (this scatter's
+                        # changed set is never consumed — fresh cells
+                        # are recovered from the level stamp
+                        # afterwards).  MIN over the same candidate
+                        # set is order-independent, so the per-lane
+                        # results stay bit-identical.
+                        hits = np.flatnonzero(eb[ne].view(bool))
+                        pe = hits >> 3
+                        pl = hits & 7
+                        s_c = src[ne]
+                        g_c = gtab[dst_rel[ne]]
+                        if L == k:
+                            comp = s_c[pe] * k + 8 * c + pl
+                        else:
+                            comp = s_c[pe] * k + pull_lanes[8 * c + pl]
+                        np.minimum.at(pflat, comp, g_c[pe])
+
+            engine.foreach(bottom_up_scan)
+            dense_exchange_lanes(engine, "parent", "pull", "min", pull_lanes)
+            for id_r, ranks in engine.row_groups():
+                ctx0 = engine.ctx(ranks[0])
+                p0 = ctx0.get("parent")[ctx0.row_slice]
+                l0 = ctx0.get("level")[ctx0.row_slice]
+                if L != k:
+                    p0 = p0[:, pull_lanes]
+                    l0 = l0[:, pull_lanes]
+                n_upd[pull_lanes] += np.count_nonzero(
+                    (p0 != INF) & (l0 == INF), axis=0
+                )
+            # One fused per-lane verdict AllReduce for all pull lanes
+            # (split-phase on an overlapped engine, exactly as 1-D).
+            flags = [
+                n_upd[pull_lanes].astype(np.float64)
+                for _ in range(grid.n_ranks)
+            ]
+            if engine.overlap:
+                flags_handle = engine.comm.start_allreduce(
+                    list(range(grid.n_ranks)), flags, op="max"
+                )
+            else:
+                engine.comm.allreduce(
+                    list(range(grid.n_ranks)), flags, op="max"
+                )
+
+        cont = ~lane_done & (n_upd > 0)
+        lane_done |= ~lane_done & (n_upd == 0)
+        if not cont.any():
+            if flags_handle is not None:
+                engine.comm.wait(flags_handle)
+            engine.superstep_boundary("bfs_batch")
+            break
+
+        # Record levels of freshly visited cells and build the next
+        # frontier (push lanes: exchange's active rows; pull lanes:
+        # fresh row-window cells), merged lane-major.
+        pull_cont = np.zeros(k, dtype=bool)
+        pull_cont[pull_lanes] = True
+        pull_cont &= cont
+
+        def fresh_levels(ctx):
+            parent = ctx.get("parent")
+            level = ctx.get("level")
+            fresh = None
+            if result is not None and not pull_cont.any():
+                # Pure push superstep: the exchange already names every
+                # cell it may have written (changed ghosts, the local
+                # update queue, and the active owned rows).  Every cell
+                # with a finite parent and an unset level was written
+                # *this* superstep — earlier supersteps stamped theirs
+                # — so stamping the touched cells with ``level == INF``
+                # reaches exactly the set the full scan would, without
+                # scanning the whole window.
+                cl, cn = result.active_col[ctx.rank]
+                al, an = result.active_row[ctx.rank]
+                tl = np.concatenate([cl, al])
+                tn = np.concatenate([cn, an])
+                unset = level[tl, tn] == INF
+                level[tl[unset], tn[unset]] = depth
+            else:
+                pflat = parent.reshape(-1)
+                lflat = level.reshape(-1)
+                mask = (pflat != INF) & (lflat == INF)
+                np.copyto(lflat, depth, where=mask)
+                if ctx.rank == row_leader[ctx.rank] and pull_cont.any():
+                    fresh = np.flatnonzero(mask)
+            engine.charge_vertices(ctx.rank, ctx.n_total)
+            # Next frontier: push lanes keep the exchange's active rows
+            # (lane-major, unique); pull lanes reuse the flat ``fresh``
+            # indices just computed — a divmod (shift/mask when k is a
+            # power of two) recovers (lid, lane) pairs in lid-major
+            # order.  Each lane's entries come from exactly one part
+            # (disjoint lane sets) with LIDs ascending within the lane,
+            # which is all downstream consumers need: expansion order
+            # only matters per lane, and per-lane deg sums extract
+            # their own subsequence.  Only row-group leaders extract —
+            # the group shares one row window, so the main loop aliases
+            # their lists to the other members.
+            if ctx.rank != row_leader[ctx.rank]:
+                return None
+            out_l: list[np.ndarray] = []
+            out_n: list[np.ndarray] = []
+            if result is not None:
+                al, an = result.active_row[ctx.rank]
+                keep = cont[an]
+                out_l.append(al[keep])
+                out_n.append(an[keep])
+            if pull_cont.any():
+                rs = ctx.row_slice
+                if k & (k - 1) == 0:
+                    shift = k.bit_length() - 1
+                    fl = fresh >> shift
+                    fn = fresh & (k - 1)
+                else:
+                    fl = fresh // k
+                    fn = fresh - fl * k
+                sel = pull_cont[fn]
+                if rs.start > 0 or rs.stop < level.shape[0]:
+                    sel &= (fl >= rs.start) & (fl < rs.stop)
+                out_l.append(fl[sel])
+                out_n.append(fn[sel])
+            if not out_l:
+                return _EMPTY_I64, _EMPTY_I64
+            return np.concatenate(out_l), np.concatenate(out_n)
+
+        leader_frontier = engine.map_ranks(fresh_levels)
+        new_frontier = [leader_frontier[row_leader[r]] for r in range(grid.n_ranks)]
+        if flags_handle is not None:
+            engine.comm.wait(flags_handle)
+        m_new = np.zeros(k)
+        for id_r, ranks in engine.row_groups():
+            ctx0 = engine.ctx(ranks[0])
+            lids0, lanes0 = new_frontier[ranks[0]]
+            deg0 = ctx0.get("deg")
+            if not lanes0.size:
+                continue
+            # One stable lane sort replaces a boolean mask pass per
+            # lane; each lane's segment keeps the original relative
+            # order, so the per-lane np.sum sees the identical operand
+            # sequence (and the switching trajectory stays
+            # bit-identical to the 1-D runs).
+            ordr = np.argsort(lanes0, kind="stable")
+            sl = lids0[ordr]
+            sn = lanes0[ordr]
+            starts = np.searchsorted(sn, np.arange(k))
+            ends = np.searchsorted(sn, np.arange(k), side="right")
+            for lane in np.flatnonzero(cont):
+                seg = sl[starts[lane] : ends[lane]]
+                if seg.size:
+                    m_new[lane] += float(deg0[seg].sum())
+        frontier = new_frontier
+        m_frontier_prev[cont] = m_frontier[cont]
+        m_frontier[cont] = m_new[cont]
+        n_visited[cont] += n_upd[cont]
+        m_unvisited[cont] -= m_frontier[cont]
+        lane_done |= cont & (n_visited >= n)
+        engine.superstep_boundary("bfs_batch")
+
+    parent_state = engine.gather("parent")
+    levels = engine.gather("level")
+    reached = np.isfinite(parent_state)
+    parents = np.full((n, k), -1, dtype=np.int64)
+    parents[reached] = parent_state[reached].astype(np.int64)
+    out_levels = np.where(np.isfinite(levels), levels, -1).astype(np.int64)
+    return AlgorithmResult(
+        values=parents,
+        timings=engine.timing_report(),
+        iterations=depth,
+        counters=engine.counters.summary(),
+        extra={
+            "levels": out_levels,
+            "n_visited": [int(v) for v in n_visited],
+            "directions": [list(d) for d in direction_log],
+            "roots": [int(r) for r in roots],
+        },
+    )
+
+
+def sssp_batch(
+    engine: Engine,
+    sources,
+    max_iterations: Optional[int] = None,
+) -> AlgorithmResult:
+    """Bellman-Ford from ``k`` sources in one fused superstep stream.
+
+    ``values`` is an ``(n, k)`` distance matrix; column ``l`` is
+    bit-identical to ``sssp(engine, sources[l]).values``.  Lanes retire
+    individually once their relaxation fixpoints are reached.
+    """
+    part, grid = engine.partition, engine.grid
+    if not part.weighted:
+        raise ValueError("sssp_batch needs an edge-weighted graph")
+    n = part.n_vertices
+    sources = validate_roots(n, sources, "sources")
+    k = sources.size
+    if k == 1:
+        res = sssp(engine, int(sources[0]), max_iterations=max_iterations)
+        return AlgorithmResult(
+            values=res.values.reshape(-1, 1),
+            timings=res.timings,
+            iterations=res.iterations,
+            counters=res.counters,
+            extra={
+                "n_reached": [res.extra["n_reached"]],
+                "iterations": [res.iterations],
+                "sources": [int(sources[0])],
+            },
+        )
+    roots_rel = part.perm[sources].astype(np.int64)
+    engine.reset_timers()
+
+    def seed(ctx):
+        lm = ctx.localmap
+        dist = ctx.alloc("dist", np.float64, fill=INF, width=k)
+        entry_lids, entry_lanes = [], []
+        for lane in range(k):
+            rr = int(roots_rel[lane])
+            if lm.row_start <= rr < lm.row_stop:
+                dist[lm.row_lid(rr), lane] = 0.0
+            if lm.col_start <= rr < lm.col_stop:
+                dist[lm.col_lid(rr), lane] = 0.0
+            if lm.row_start <= rr < lm.row_stop:
+                entry_lids.append(lm.row_lid(rr))
+                entry_lanes.append(lane)
+        engine.charge_vertices(ctx.rank, ctx.n_total)
+        return (
+            np.asarray(entry_lids, dtype=np.int64),
+            np.asarray(entry_lanes, dtype=np.int64),
+        )
+
+    frontier = engine.map_ranks(seed)
+    lane_done = np.zeros(k, dtype=bool)
+    lane_iters = np.zeros(k, dtype=np.int64)
+    iterations = 0
+    while not lane_done.all():
+        iterations += 1
+        active = ~lane_done
+
+        def relax(ctx):
+            dist = ctx.get("dist")
+            lids, lanes_f = frontier[ctx.rank]
+            sel = active[lanes_f]
+            rows, rlanes = lids[sel], lanes_f[sel]
+            degs = ctx.local_degrees()[rows - ctx.localmap.row_offset]
+            engine.charge_edges(ctx.rank, degs, work_per_edge=1.5)
+            src, dst, w = ctx.expand(rows)
+            if dst.size == 0:
+                return _EMPTY_I64, _EMPTY_I64
+            edge_lanes = np.repeat(rlanes, degs)
+            cand = dist[src, edge_lanes] + w
+            return scatter_reduce_lanes(dist, dst, cand, "min", lanes=edge_lanes)
+
+        queues = engine.map_ranks(relax)
+        result = sparse_push_lanes(engine, "dist", queues, op="min")
+        frontier = result.active_row
+        lane_iters[active] = iterations
+        lane_done |= active & (result.n_updated == 0)
+        if max_iterations is not None and iterations >= max_iterations:
+            lane_done |= active
+        engine.superstep_boundary("sssp_batch")
+
+    values = engine.gather("dist")
+    return AlgorithmResult(
+        values=values,
+        timings=engine.timing_report(),
+        iterations=iterations,
+        counters=engine.counters.summary(),
+        extra={
+            "n_reached": [
+                int(np.count_nonzero(np.isfinite(values[:, lane])))
+                for lane in range(k)
+            ],
+            "iterations": [int(i) for i in lane_iters],
+            "sources": [int(s) for s in sources],
+        },
+    )
+
+
+def pagerank_batch(
+    engine: Engine,
+    seeds,
+    iterations: int = 20,
+    damping: float = 0.85,
+    tol: Optional[float] = None,
+) -> AlgorithmResult:
+    """Personalized PageRank from ``k`` seed vertices, one lane each.
+
+    Lane ``l`` runs PageRank with a one-hot teleport distribution at
+    ``seeds[l]``; ``values`` column ``l`` is bit-identical to
+    ``pagerank(engine, personalization=one_hot(seeds[l]), ...)``.
+    With ``tol`` set, converged lanes freeze mid-stream and drop out of
+    the dense exchanges; the remaining lanes keep sharing one AllReduce
+    per group per iteration.
+    """
+    n = engine.partition.n_vertices
+    grid = engine.grid
+    all_ranks = list(range(grid.n_ranks))
+    seeds = validate_roots(n, seeds, "seeds")
+    k = seeds.size
+    if k == 1:
+        pers = np.zeros(n)
+        pers[int(seeds[0])] = 1.0
+        res = pagerank(
+            engine,
+            iterations=iterations,
+            damping=damping,
+            personalization=pers,
+            tol=tol,
+        )
+        return AlgorithmResult(
+            values=res.values.reshape(-1, 1),
+            timings=res.timings,
+            iterations=res.iterations,
+            counters=res.counters,
+            extra={
+                "damping": damping,
+                "iterations": [res.iterations],
+                "seeds": [int(seeds[0])],
+            },
+        )
+
+    tele_global = np.zeros((n, k))
+    tele_global[seeds, np.arange(k)] = 1.0
+    engine.reset_timers()
+    engine.scatter_global("tele", tele_global)
+    compute_global_degrees(engine)
+
+    def alloc_state(ctx):
+        ctx.alloc("pr", np.float64, fill=1.0 / n, width=k)
+        ctx.alloc("acc", np.float64, width=k)
+
+    engine.foreach(alloc_state)
+    lane_done = np.zeros(k, dtype=bool)
+    lane_iters = np.zeros(k, dtype=np.int64)
+    deg_dst: list[Optional[tuple[np.ndarray, np.ndarray]]] = [None] * grid.n_ranks
+    iterations_run = 0
+    while iterations_run < iterations and not lane_done.all():
+        iterations_run += 1
+        act = np.flatnonzero(~lane_done)
+
+        # Dangling mass for every live lane in one (split-phase when
+        # overlapped) vector AllReduce; per-lane sums run over exactly
+        # the 1-D operand sequence.
+        def dangling_share(ctx):
+            pr = ctx.get("pr")
+            deg = ctx.get("deg")
+            rw = ctx.row_slice
+            engine.charge_vertices(ctx.rank, ctx.localmap.n_row)
+            masked = pr[rw][deg[rw] == 0]
+            return (
+                np.array([masked[:, lane].copy().sum() for lane in act])
+                / grid.R
+            )
+
+        partials = engine.map_ranks(dangling_share)
+        dangling_handle = (
+            engine.comm.start_allreduce(all_ranks, partials, op="sum")
+            if engine.overlap
+            else None
+        )
+
+        # Local partial gathers: one edge pass feeds all k columns
+        # (row-vector scatter; per column the 1-D accumulation order).
+        def gather_partials(ctx):
+            pr = ctx.get("pr")
+            deg = ctx.get("deg")
+            acc = ctx.get("acc")
+            acc[...] = 0.0
+            src, dst, w = ctx.expand_all()
+            engine.charge_edges(
+                ctx.rank, ctx.local_degrees(), cache_key="pr.full"
+            )
+            if dst.size:
+                if deg_dst[ctx.rank] is None:
+                    dd = deg[dst]
+                    deg_dst[ctx.rank] = (np.maximum(dd, 1e-300), dd == 0)
+                dd_safe, dd_zero = deg_dst[ctx.rank]
+                contrib = pr[dst] / dd_safe[:, None]
+                contrib[dd_zero] = 0.0
+                scatter_reduce_lanes(acc, src, contrib, "sum")
+
+        engine.foreach(gather_partials)
+
+        # Complete sums along row groups, refresh ghosts — live lanes
+        # only.
+        dense_exchange_lanes(engine, "acc", "pull", "sum", act)
+
+        if dangling_handle is not None:
+            engine.comm.wait(dangling_handle)
+        else:
+            engine.comm.allreduce(all_ranks, partials, op="sum")
+        dangling = partials[0]
+
+        def damping_update(ctx):
+            pr = ctx.get("pr")
+            acc = ctx.get("acc")
+            tele = ctx.get("tele")
+            t_a = tele[:, act]
+            new = (1.0 - damping) * t_a + damping * (
+                acc[:, act] + dangling[None, :] * t_a
+            )
+            delta = np.zeros(act.size)
+            if tol is not None:
+                rw = ctx.row_slice
+                delta = np.abs(new[rw] - pr[rw][:, act]).max(
+                    axis=0, initial=0.0
+                )
+            pr[:, act] = new
+            engine.charge_vertices(ctx.rank, ctx.n_total)
+            return delta
+
+        deltas = engine.map_ranks(damping_update)
+        lane_iters[act] = iterations_run
+        if tol is not None:
+            max_delta = np.max(np.stack(deltas), axis=0)
+            flags = [max_delta.copy() for _ in all_ranks]
+            engine.comm.allreduce(all_ranks, flags, op="max")
+            lane_done[act[max_delta < tol]] = True
+        engine.superstep_boundary("pagerank_batch")
+
+    values = engine.gather("pr")
+    return AlgorithmResult(
+        values=values,
+        timings=engine.timing_report(),
+        iterations=iterations_run,
+        counters=engine.counters.summary(),
+        extra={
+            "damping": damping,
+            "iterations": [int(i) for i in lane_iters],
+            "seeds": [int(s) for s in seeds],
+        },
+    )

@@ -302,27 +302,40 @@ def _frontier_size(engine: Engine, frontier: list[np.ndarray]) -> int:
     return total
 
 
-def pseudo_diameter(engine: Engine, start: int = 0, sweeps: int = 3) -> AlgorithmResult:
+def pseudo_diameter(
+    engine: Engine, start: int = 0, sweeps: int = 3, lanes: int = 1
+) -> AlgorithmResult:
     """Lower-bound the graph diameter with repeated BFS sweeps.
 
     The classic double-sweep heuristic: BFS from ``start``, jump to the
-    farthest vertex found, repeat.  Each sweep reuses the full hybrid
-    BFS machinery; the bound is monotone over sweeps and exact on
-    trees.  Returns the bound in ``extra["diameter_lower_bound"]``
-    along with the endpoint pair realizing it.
+    farthest vertex found, repeat.  The bound is monotone over sweeps
+    and exact on trees.  Returns the bound in
+    ``extra["diameter_lower_bound"]`` along with the endpoint pair
+    realizing it.
+
+    Sweeps run through the batched traversal path
+    (:func:`~repro.algorithms.batch.bfs_batch`): with the default
+    ``lanes=1`` each sweep degenerates to the single-source code path
+    and the estimate is identical to the historical sequential
+    implementation (asserted in tests); ``lanes>1`` probes that many
+    farthest candidates per sweep in *one* fused traversal, which can
+    only tighten the lower bound at a fraction of the sequential cost.
     """
+    from .batch import bfs_batch
+
     part = engine.partition
     n = part.n_vertices
     if not 0 <= start < n:
         raise ValueError(f"start {start} out of range")
+    lanes = max(1, min(int(lanes), n))
     best = 0
     endpoints = (start, start)
-    current = start
+    roots = [start]
     total_iterations = 0
     timings = None
     counters = {}
     for _ in range(max(sweeps, 1)):
-        res = bfs(engine, root=current)
+        res = bfs_batch(engine, roots)
         levels = res.extra["levels"]
         total_iterations += res.iterations
         timings = res.timings if timings is None else TimingReport(
@@ -331,14 +344,20 @@ def pseudo_diameter(engine: Engine, start: int = 0, sweeps: int = 3) -> Algorith
             comm=timings.comm + res.timings.comm,
         )
         counters = res.counters
-        far = int(np.argmax(levels))
-        depth = int(levels[far])
+        # Deepest reached vertex across this sweep's lanes.
+        lane_far = [int(np.argmax(levels[:, j])) for j in range(len(roots))]
+        lane_depth = [int(levels[lane_far[j], j]) for j in range(len(roots))]
+        j = int(np.argmax(lane_depth))
+        far, depth = lane_far[j], lane_depth[j]
         if depth > best:
             best = depth
-            endpoints = (current, far)
-        if far == current or depth <= best - 1:
+            endpoints = (roots[j], far)
+        if far == roots[j] or depth <= best - 1:
             break
-        current = far
+        # Next sweep: the `lanes` farthest candidates of the winning
+        # lane (stable order, so lanes=1 reproduces argmax exactly).
+        order = np.argsort(-levels[:, j], kind="stable")[:lanes]
+        roots = [int(v) for v in order]
     assert timings is not None
     return AlgorithmResult(
         values=None,

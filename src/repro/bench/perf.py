@@ -45,6 +45,7 @@ from ..queueing.manhattan import manhattan_schedule
 __all__ = [
     "SCHEMA",
     "run_perf",
+    "measure_batched",
     "measure_modeled",
     "append_entry",
     "load_trajectory",
@@ -181,6 +182,93 @@ def measure_modeled(graph, ranks: int, executor=None) -> dict:
     return out
 
 
+def measure_batched(
+    graph,
+    ranks: int,
+    ks: tuple = (4, 8, 16),
+    executor=None,
+    repeats: int = 3,
+) -> dict:
+    """Batched k-source BFS vs k sequential runs (wall clock).
+
+    For each ``k`` the roots are the ``k`` highest-degree vertices
+    (stable order, so the protocol is reproducible), and both modes run
+    on identically configured engines:
+
+    * **sequential** — ``k`` independent ``bfs`` runs back-to-back;
+    * **batched** — one ``bfs_batch`` over all ``k`` roots.
+
+    Each section records wall time, the sparse-collective
+    (``allgatherv``) call counts from :class:`~repro.comm.counters.
+    CommCounters` — the α-amortization the batch exists to win — and a
+    ``bit_identical`` flag confirming per-lane parents/levels match the
+    sequential runs exactly.
+    """
+    from ..algorithms.batch import bfs_batch
+    from ..algorithms.bfs import bfs
+
+    deg = graph.degrees()
+    order = np.argsort(-deg, kind="stable")
+    out = {}
+    for k in ks:
+        k = int(min(k, graph.n_vertices))
+        roots = [int(v) for v in order[:k]]
+        engine = Engine(
+            graph, n_ranks=ranks, executor=resolve_executor(executor)
+        )
+        seq_state = {}
+
+        def run_seq():
+            calls = 0
+            results = []
+            for r in roots:
+                res = bfs(engine, r)
+                calls += res.counters.get("allgatherv", {}).get("calls", 0)
+                results.append((res.values, res.extra["levels"]))
+            seq_state["calls"] = calls
+            seq_state["results"] = results
+
+        seq_t = _timed(run_seq, repeats)
+
+        batch_state = {}
+
+        def run_batch():
+            res = bfs_batch(engine, roots)
+            batch_state["calls"] = res.counters.get(
+                "allgatherv", {}
+            ).get("calls", 0)
+            batch_state["res"] = res
+
+        batch_t = _timed(run_batch, repeats)
+
+        bres = batch_state["res"]
+        identical = all(
+            np.array_equal(bres.values[:, j], pv)
+            and np.array_equal(bres.extra["levels"][:, j], lv)
+            for j, (pv, lv) in enumerate(seq_state["results"])
+        )
+        seq_calls = seq_state["calls"]
+        batch_calls = batch_state["calls"]
+        out[f"k{k}"] = {
+            "k": k,
+            "roots": roots,
+            "sequential": seq_t,
+            "batched": batch_t,
+            "speedup": (
+                seq_t["best_s"] / batch_t["best_s"]
+                if batch_t["best_s"]
+                else 1.0
+            ),
+            "allgatherv_calls": {
+                "sequential": seq_calls,
+                "batched": batch_calls,
+                "ratio": seq_calls / max(batch_calls, 1),
+            },
+            "bit_identical": bool(identical),
+        }
+    return out
+
+
 def run_perf(
     scale: int = 14,
     ranks: int = 16,
@@ -189,6 +277,8 @@ def run_perf(
     primitives: bool = True,
     executor: "RankExecutor | str | None" = None,
     modeled: bool = False,
+    batch: bool = False,
+    batch_ks: tuple = (4, 8, 16),
 ) -> dict:
     """Run the full protocol; return one trajectory entry.
 
@@ -201,6 +291,10 @@ def run_perf(
     virtual-clock totals blocking vs overlapped (see
     :func:`measure_modeled`); it lives outside ``"algorithms"`` so the
     wall-clock trajectory's shape stays stable.
+
+    ``batch=True`` adds a ``"batched"`` section comparing batched
+    k-source BFS against k sequential runs for each ``k`` in
+    ``batch_ks`` (see :func:`measure_batched`).
     """
     graph = rmat(scale, seed=1)
     ex = resolve_executor(executor)
@@ -227,6 +321,10 @@ def run_perf(
         )
     if modeled:
         entry["modeled"] = measure_modeled(graph, ranks, executor=executor)
+    if batch:
+        entry["batched"] = measure_batched(
+            graph, ranks, ks=batch_ks, executor=executor, repeats=repeats
+        )
     return entry
 
 

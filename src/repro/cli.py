@@ -171,6 +171,10 @@ def _cmd_perf(args: argparse.Namespace) -> int:
         primitives=not args.no_primitives,
         executor=args.executor,
         modeled=args.overlap,
+        batch=args.batch,
+        batch_ks=tuple(
+            int(k) for k in args.batch_ks.split(",")
+        ) if args.batch else (4, 8, 16),
     )
     for section in ("algorithms", "primitives"):
         if section not in entry:
@@ -190,6 +194,18 @@ def _cmd_perf(args: argparse.Namespace) -> int:
                 f"overlapped {ovl['total_s']:9.3f}s  "
                 f"(x{m['speedup']:.3f}, hid {ovl['overlap_fraction']:.1%} "
                 f"of comm)"
+            )
+    if "batched" in entry:
+        print("batched k-source BFS (vs k sequential runs):")
+        for name, b in entry["batched"].items():
+            calls = b["allgatherv_calls"]
+            ident = "bit-identical" if b["bit_identical"] else "MISMATCH"
+            print(
+                f"  {name:>20}: seq {b['sequential']['best_s'] * 1e3:9.3f} ms  "
+                f"batch {b['batched']['best_s'] * 1e3:9.3f} ms  "
+                f"(x{b['speedup']:.2f}, allgatherv {calls['sequential']}"
+                f"->{calls['batched']} = x{calls['ratio']:.2f} fewer, "
+                f"{ident})"
             )
     if args.out:
         data = append_entry(args.out, entry)
@@ -413,6 +429,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--overlap", action="store_true",
         help="also record the modeled (virtual-clock) blocking-vs-"
              "overlapped comparison for BFS/PR/CC/SpMV",
+    )
+    perf.add_argument(
+        "--batch", action="store_true",
+        help="also record batched k-source BFS vs k sequential runs "
+             "(wall time, allgatherv call counts, bit-identity)",
+    )
+    perf.add_argument(
+        "--batch-ks", default="4,8,16", metavar="K,K,...",
+        help="comma-separated lane counts for --batch (default 4,8,16)",
     )
     perf.set_defaults(func=_cmd_perf)
 

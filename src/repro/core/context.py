@@ -91,14 +91,19 @@ class RankContext:
         dtype=np.float64,
         fill=0,
         length: Optional[int] = None,
+        width: Optional[int] = None,
     ) -> np.ndarray:
         """Allocate (or re-initialize) a named state array.
 
         By default the array spans the rank's full LID space
         ``[0, N_T)``, the layout all communication patterns assume.
+        ``width=k`` allocates a C-contiguous ``(length, k)`` lane array
+        instead — the layout the batched multi-source algorithms use,
+        where each column is one query lane.
         """
         n = self.n_total if length is None else int(length)
-        if name in self.arrays and self.arrays[name].shape[0] == n and (
+        shape: tuple[int, ...] = (n,) if width is None else (n, int(width))
+        if name in self.arrays and self.arrays[name].shape == shape and (
             self.arrays[name].dtype == np.dtype(dtype)
         ):
             arr = self.arrays[name]
@@ -106,7 +111,23 @@ class RankContext:
             return arr
         if name in self.arrays:
             self.free(name)
-        arr = np.full(n, fill, dtype=dtype)
+        arr = np.full(shape, fill, dtype=dtype)
+        self.device.charge(f"state.{name}", arr.nbytes)
+        self.arrays[name] = arr
+        return arr
+
+    def adopt(self, name: str, arr: np.ndarray) -> np.ndarray:
+        """Register an externally-owned array as a named state.
+
+        Used for pooled scratch (e.g. lane-subset pack buffers from
+        :meth:`scratch_pool`) that must be visible to the communication
+        patterns under a state name for a few supersteps.  The array is
+        charged against the device ledger like any allocation; call
+        :meth:`free` to unregister it (the memory itself stays with the
+        caller, who returns it to its pool).
+        """
+        if name in self.arrays:
+            self.free(name)
         self.device.charge(f"state.{name}", arr.nbytes)
         self.arrays[name] = arr
         return arr

@@ -280,9 +280,18 @@ class Engine:
     # ------------------------------------------------------------------
     # state helpers
     # ------------------------------------------------------------------
-    def alloc(self, name: str, dtype=np.float64, fill=0) -> list[np.ndarray]:
-        """Allocate a state array on every rank; returns the list."""
-        return [ctx.alloc(name, dtype=dtype, fill=fill) for ctx in self.contexts]
+    def alloc(
+        self, name: str, dtype=np.float64, fill=0, width: Optional[int] = None
+    ) -> list[np.ndarray]:
+        """Allocate a state array on every rank; returns the list.
+
+        ``width=k`` allocates ``(N_T, k)`` lane arrays (one column per
+        batched query lane) instead of flat vectors.
+        """
+        return [
+            ctx.alloc(name, dtype=dtype, fill=fill, width=width)
+            for ctx in self.contexts
+        ]
 
     def states(self, name: str) -> list[np.ndarray]:
         self._require_state(name)
@@ -312,11 +321,14 @@ class Engine:
 
     def scatter_global(self, name: str, vec: np.ndarray, dtype=None) -> list[np.ndarray]:
         """Distribute a global per-vertex vector into a named state
-        array on every rank (row and column windows filled)."""
+        array on every rank (row and column windows filled).  A 2-D
+        ``(n, k)`` input distributes each lane column."""
+        vec = np.asarray(vec)
+        width = vec.shape[1] if vec.ndim == 2 else None
         out = []
         for ctx in self.contexts:
             local = self.partition.scatter_global(vec, ctx.rank)
-            arr = ctx.alloc(name, dtype=dtype or local.dtype)
+            arr = ctx.alloc(name, dtype=dtype or local.dtype, width=width)
             arr[...] = local
             out.append(arr)
         return out
@@ -533,7 +545,12 @@ class Engine:
             for name in [n for n in ctx.arrays if n not in saved]:
                 ctx.free(name)
             for name, arr in saved.items():
-                dest = ctx.alloc(name, dtype=arr.dtype, length=arr.shape[0])
+                dest = ctx.alloc(
+                    name,
+                    dtype=arr.dtype,
+                    length=arr.shape[0],
+                    width=arr.shape[1] if arr.ndim == 2 else None,
+                )
                 dest[...] = arr
         self.counters.load_state(ckpt.counters)
         self.clocks.load_state(ckpt.clocks)

@@ -132,7 +132,7 @@ class TwoDPartition:
         relabeled[self.perm] = vec
         blk = self.blocks[rank]
         lm = blk.localmap
-        local = np.zeros(lm.n_total, dtype=vec.dtype)
+        local = np.zeros((lm.n_total,) + vec.shape[1:], dtype=vec.dtype)
         local[lm.row_slice] = relabeled[lm.row_start : lm.row_stop]
         local[lm.col_slice] = relabeled[lm.col_start : lm.col_stop]
         return local
@@ -151,7 +151,9 @@ class TwoDPartition:
             lm = blk.localmap
             piece = states[rank][lm.row_slice]
             if out is None:
-                out = np.zeros(self.n_vertices, dtype=piece.dtype)
+                out = np.zeros(
+                    (self.n_vertices,) + piece.shape[1:], dtype=piece.dtype
+                )
             out[lm.row_start : lm.row_stop] = piece
         assert out is not None
         return self.to_original_order(out)

@@ -16,12 +16,21 @@ changes.
 """
 
 from .buffers import BufferPool
-from .scatter import ScatterError, scatter_reduce, scatter_reduce_reference, segment_reduce
+from .scatter import (
+    ScatterError,
+    scatter_reduce,
+    scatter_reduce_lanes,
+    scatter_reduce_reference,
+    segment_reduce,
+    unique_bounded,
+)
 
 __all__ = [
     "BufferPool",
     "ScatterError",
     "scatter_reduce",
+    "scatter_reduce_lanes",
     "scatter_reduce_reference",
     "segment_reduce",
+    "unique_bounded",
 ]

@@ -59,16 +59,27 @@ class BufferPool:
         capacity = max(16, 1 << max(0, int(n) - 1).bit_length())
         return np.empty(capacity, dtype=self.dtype)[:n]
 
+    def take2d(self, rows: int, cols: int) -> np.ndarray:
+        """A writable C-contiguous ``(rows, cols)`` array from the pool.
+
+        Backed by the same 1-D pooled arrays as :meth:`take` — a
+        ``rows x cols`` lane buffer given back can later serve a plain
+        1-D ``take`` of any length up to its capacity, and vice versa.
+        """
+        return self.take(int(rows) * int(cols)).reshape(int(rows), int(cols))
+
     def give(self, *buffers: np.ndarray) -> None:
-        """Return buffers obtained from :meth:`take` to the pool.
+        """Return buffers obtained from :meth:`take`/:meth:`take2d`.
 
         A backing array already sitting in the pool is skipped: two
         views of the same base given back twice (or in the same call)
         must not make the base available to two future ``take``
-        calls, which would alias their payloads.
+        calls, which would alias their payloads.  2-D views hand their
+        (1-D) root backing array back, so the guard keys on the same
+        identity regardless of how the view was shaped.
         """
         for buf in buffers:
-            base = buf.base if buf.base is not None else buf
+            base = _root_base(buf)
             if (
                 isinstance(base, np.ndarray)
                 and base.dtype == self.dtype
@@ -82,3 +93,17 @@ class BufferPool:
     def clear(self) -> None:
         self._free.clear()
         self._free_ids.clear()
+
+
+def _root_base(buf: np.ndarray):
+    """Walk the view chain to the owning array.
+
+    NumPy usually collapses ``.base`` chains to the owner, but a
+    reshape of a slice view can keep an intermediate view in the
+    chain — walking makes the double-give guard independent of how
+    many view layers the caller stacked.
+    """
+    base = buf
+    while isinstance(base, np.ndarray) and base.base is not None:
+        base = base.base
+    return base

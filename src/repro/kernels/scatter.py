@@ -31,13 +31,25 @@ deterministically.
 :func:`segment_reduce` exposes the sorted-run reduction separately for
 callers that already hold run boundaries (histogram merges, CSR
 dedup), where ``reduceat`` beats an indexed scatter outright.
+
+:func:`scatter_reduce_lanes` is the lane-aware 2-D path used by the
+batched multi-source traversals: ``k`` query lanes share one
+``(n, k)`` state array and one fused update, with per-lane results
+bit-identical to ``k`` independent 1-D :func:`scatter_reduce` calls.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["ScatterError", "scatter_reduce", "scatter_reduce_reference", "segment_reduce"]
+__all__ = [
+    "ScatterError",
+    "scatter_reduce",
+    "scatter_reduce_lanes",
+    "scatter_reduce_reference",
+    "segment_reduce",
+    "unique_bounded",
+]
 
 _EMPTY_I64 = np.empty(0, dtype=np.int64)
 
@@ -50,6 +62,39 @@ _UFUNCS = {"min": np.minimum, "max": np.maximum, "sum": np.add}
 
 class ScatterError(ValueError):
     """Unsupported op/dtype combination for :func:`scatter_reduce`."""
+
+
+#: Largest index domain for which :func:`unique_bounded` builds a
+#: presence bitmap instead of falling back to ``np.unique`` (a bitmap
+#: this size costs one byte per domain slot).
+_UNIQUE_BITMAP_MAX = 1 << 22
+
+
+def unique_bounded(values: np.ndarray, bound: int) -> np.ndarray:
+    """Sorted unique of non-negative ints known to lie in ``[0, bound)``.
+
+    ``np.unique`` pays a hash/sort pass whose per-call overhead
+    dominates on the small queues the exchange patterns dedup.  When
+    the queue is small relative to the domain, an explicit sort plus
+    boundary scan wins; when it is comparable to the domain (local
+    state sizes, composite ``lid * k + lane`` indices), a presence
+    bitmap plus one boolean scan wins.  Both return the identical
+    sorted array; very large domains fall back to ``np.unique``.
+    """
+    values = np.asarray(values)
+    if values.size == 0:
+        return _EMPTY_I64
+    if values.size * 16 < bound:
+        s = np.sort(values)
+        keep = np.empty(s.size, dtype=bool)
+        keep[0] = True
+        np.not_equal(s[1:], s[:-1], out=keep[1:])
+        return s[keep]
+    if bound > _UNIQUE_BITMAP_MAX:
+        return np.unique(values)
+    seen = np.zeros(bound, dtype=bool)
+    seen[values] = True
+    return np.flatnonzero(seen)
 
 
 def segment_reduce(values: np.ndarray, starts: np.ndarray, op: str) -> np.ndarray:
@@ -107,10 +152,88 @@ def scatter_reduce(
         ufunc.at(state, lids, vals)
         return np.flatnonzero(state != old)
     # Sparse regime: the queue is small, unique bookkeeping is cheap.
-    uniq = np.unique(lids)
+    uniq = unique_bounded(lids, state.shape[0])
     old = state[uniq].copy()
     ufunc.at(state, lids, vals)
     return uniq[state[uniq] != old]
+
+
+def scatter_reduce_lanes(
+    state: np.ndarray,
+    lids: np.ndarray,
+    vals,
+    op: str = "min",
+    lanes: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Lane-aware scatter-reduce over a 2-D ``(n, k)`` state array.
+
+    Two entry modes:
+
+    * ``lanes`` given — every update targets one ``(lid, lane)`` cell:
+      the update runs over the flattened state through the composite
+      index ``lid * k + lane``, so each lane's subsequence of the
+      update stream is applied in exactly the order a 1-D
+      :func:`scatter_reduce` on that lane's column would use
+      (bit-identical per lane, including ``sum`` accumulation order).
+    * ``lanes=None`` — ``vals`` is ``(len(lids), k)`` and every update
+      applies a full row vector (the dense multi-lane gather used by
+      batched PageRank); per column this is the identical unbuffered
+      ``np.<op>.at`` sequence of the 1-D kernel.
+
+    Returns ``(changed_lids, changed_lanes)``: the cells whose stored
+    value changed (exact compare), sorted by ``(lid, lane)``.
+    Requires ``state`` to be C-contiguous (the layout
+    :meth:`~repro.core.context.RankContext.alloc` produces).
+    """
+    if state.ndim != 2:
+        raise ScatterError(f"lane scatter needs a 2-D state, got {state.ndim}-D")
+    if not state.flags.c_contiguous:
+        raise ScatterError("lane scatter needs a C-contiguous state array")
+    k = state.shape[1]
+    lids = np.asarray(lids)
+    if lids.size == 0:
+        return _EMPTY_I64, _EMPTY_I64
+    if not np.issubdtype(lids.dtype, np.integer):
+        raise ScatterError(f"lids must be integers, got {lids.dtype}")
+
+    if lanes is not None:
+        lanes = np.asarray(lanes)
+        if lanes.shape != lids.shape:
+            raise ScatterError(
+                f"lanes shape {lanes.shape} must match lids shape {lids.shape}"
+            )
+        flat = state.reshape(-1)
+        if k & (k - 1) == 0:
+            # Power-of-two lane count: shift/mask instead of the much
+            # slower int64 multiply/divide for the composite index.
+            shift = k.bit_length() - 1
+            comp = (lids.astype(np.int64) << shift) | lanes
+            changed = scatter_reduce(flat, comp, vals, op)
+            return changed >> shift, changed & (k - 1)
+        comp = lids.astype(np.int64) * k + lanes
+        changed = scatter_reduce(flat, comp, vals, op)
+        return changed // k, changed % k
+
+    vals = np.asarray(vals)
+    if vals.ndim != 2 or vals.shape != (lids.shape[0], k):
+        raise ScatterError(
+            f"row-vector lane scatter needs vals of shape "
+            f"({lids.shape[0]}, {k}), got {vals.shape}"
+        )
+    try:
+        ufunc = _UFUNCS[op]
+    except KeyError:
+        raise ScatterError(f"unsupported scatter op {op!r}") from None
+    if lids.size >= _DENSE_FRACTION * state.shape[0]:
+        old = state.copy()
+        ufunc.at(state, lids, vals)
+        ch_lids, ch_lanes = np.nonzero(state != old)
+        return ch_lids.astype(np.int64), ch_lanes.astype(np.int64)
+    uniq = np.unique(lids)
+    old = state[uniq].copy()
+    ufunc.at(state, lids, vals)
+    rows, cols = np.nonzero(state[uniq] != old)
+    return uniq[rows], cols.astype(np.int64)
 
 
 def _scatter_structured(

@@ -29,7 +29,7 @@ import numpy as np
 from ..comm.collectives import BroadcastCall
 from ..core.engine import Engine
 
-__all__ = ["dense_push", "dense_pull", "dense_exchange"]
+__all__ = ["dense_push", "dense_pull", "dense_exchange", "dense_exchange_lanes"]
 
 
 def _col_views(engine: Engine, ranks, name: str) -> list[np.ndarray]:
@@ -149,3 +149,49 @@ def dense_exchange(
         dense_pull(engine, name, op=op)
     else:
         raise ValueError(f"direction must be 'push' or 'pull', got {direction!r}")
+
+
+def dense_exchange_lanes(
+    engine: Engine, name: str, direction: str, op: str, lanes: np.ndarray
+) -> None:
+    """Dense exchange over a subset of a 2-D state's query lanes.
+
+    Every transfer in the dense patterns is an axis-0 slice of the
+    state array, so a full ``(N_T, k)`` lane state flows through
+    :func:`dense_exchange` unchanged — one AllReduce per group carries
+    all k columns at once (the α amortization of query batching).
+    When only some lanes are still live, this wrapper packs the active
+    columns into a pooled ``(N_T, L)`` scratch state, runs the ordinary
+    exchange on it, and unpacks — still one collective per group, sized
+    to the live lanes.
+
+    Per lane the reduction is bit-identical to a 1-D exchange of that
+    lane's column: the group AllReduce reduces elementwise over the
+    member axis, so each column sees exactly the 1-D combine order.
+    """
+    lanes = np.asarray(lanes, dtype=np.int64)
+    state0 = engine.ctx(0).get(name)
+    k = state0.shape[1]
+    if lanes.size == k:
+        # All lanes live: exchange the state array directly.
+        dense_exchange(engine, name, direction, op)
+        return
+    tmp = f"{name}#lanes"
+
+    def pack(ctx) -> None:
+        state = ctx.get(name)
+        buf = ctx.scratch_pool(state.dtype).take2d(state.shape[0], lanes.size)
+        buf[...] = state[:, lanes]
+        ctx.adopt(tmp, buf)
+
+    engine.foreach(pack)
+    dense_exchange(engine, tmp, direction, op)
+
+    def unpack(ctx) -> None:
+        state = ctx.get(name)
+        buf = ctx.get(tmp)
+        state[:, lanes] = buf
+        ctx.free(tmp)
+        ctx.scratch_pool(state.dtype).give(buf)
+
+    engine.foreach(unpack)

@@ -58,12 +58,27 @@ import numpy as np
 
 from ..core.context import RankContext
 from ..core.engine import Engine
-from ..kernels import scatter_reduce
+from ..kernels import scatter_reduce, scatter_reduce_lanes, unique_bounded
 
-__all__ = ["PAIR_DTYPE", "SparseResult", "sparse_push", "sparse_pull", "propagate_active_pull"]
+__all__ = [
+    "LANE_PAIR_DTYPE",
+    "PAIR_DTYPE",
+    "LaneSparseResult",
+    "SparseResult",
+    "sparse_push",
+    "sparse_push_lanes",
+    "sparse_pull",
+    "propagate_active_pull",
+]
 
 #: One queue entry: {vertex GID, state value} (paper Alg. 4 lines 6-7).
 PAIR_DTYPE = np.dtype([("gid", np.int64), ("val", np.float64)])
+
+#: A lane-tagged queue entry for batched multi-source exchanges: the
+#: same pair plus the query lane the update belongs to.
+LANE_PAIR_DTYPE = np.dtype(
+    [("gid", np.int64), ("lane", np.int64), ("val", np.float64)]
+)
 
 #: Custom reduction hook: (state, lids, vals) -> unique changed lids.
 ReduceFn = Callable[[np.ndarray, np.ndarray, np.ndarray], np.ndarray]
@@ -242,6 +257,163 @@ def sparse_push(
     active_row = engine.map_ranks(apply_row)
     _wait_all(engine, handles)
     return SparseResult(active_row=active_row, n_updated=n_updated)
+
+
+@dataclass
+class LaneSparseResult:
+    """Outcome of one fused k-lane sparse exchange."""
+
+    #: Per-rank ``(row_lids, lanes)`` of updated owned cells,
+    #: lane-major sorted (within each lane, LIDs ascend — exactly the
+    #: order the 1-D exchange reports for that lane alone).
+    active_row: list[tuple[np.ndarray, np.ndarray]]
+    #: Per-lane count of unique vertices whose state changed globally.
+    n_updated: np.ndarray
+    #: Per-rank ``(col_lids, lanes)`` of every column-window cell this
+    #: exchange may have written: the column reduce's changed ghosts
+    #: plus the rank's own local update queue.  Unsorted and possibly
+    #: duplicated — a superset of the actually-changed column cells,
+    #: for callers that track freshness without a full state scan.
+    active_col: list[tuple[np.ndarray, np.ndarray]]
+
+
+def sparse_push_lanes(
+    engine: Engine,
+    name: str,
+    queues: list[tuple[np.ndarray, np.ndarray]],
+    op: str = "min",
+) -> LaneSparseResult:
+    """Sparse push exchange fusing ``k`` query lanes into one stream.
+
+    The lane-batched analogue of :func:`sparse_push` over a 2-D
+    ``(N_T, k)`` state: ``queues[rank]`` is a ``(col_lids, lanes)``
+    pair naming the cells the local kernel updated, and every group
+    exchange ships **one** ``{gid, lane, val}`` buffer carrying all k
+    frontiers — one collective (one α charge) per group per stage,
+    where k sequential runs would pay k.
+
+    Per lane the exchange is bit-identical to :func:`sparse_push` on
+    that lane's column: the reduce runs through the composite-index
+    path of :func:`~repro.kernels.scatter_reduce_lanes` (same update
+    order per lane as the 1-D kernel), queue dedup is lane-major (so
+    within a lane, GIDs sort exactly as the 1-D ``np.unique``), and the
+    final row assignment writes values already made final by the column
+    reduction.
+    """
+    grid = engine.grid
+    col_share = engine.stage_nic_sharing("col")
+    row_share = engine.stage_nic_sharing("row")
+    n_v = engine.partition.n_vertices
+    k = engine.ctx(0).get(name).shape[1]
+
+    def _lane_pairs(
+        ctx: RankContext, gids: np.ndarray, lanes: np.ndarray, vals: np.ndarray
+    ) -> np.ndarray:
+        buf = ctx.scratch_pool(LANE_PAIR_DTYPE).take(gids.size)
+        buf["gid"] = gids
+        buf["lane"] = lanes
+        buf["val"] = vals
+        return buf
+
+    def _give_back_lanes(sbufs_all: list[np.ndarray], ranks: list[int]) -> None:
+        for r in ranks:
+            engine.ctx(r).scratch_pool(LANE_PAIR_DTYPE).give(sbufs_all[r])
+
+    # ---- stage 1: AllGatherv + lane reduce along each column group --
+    def build_col(ctx: RankContext) -> np.ndarray:
+        lids = np.asarray(queues[ctx.rank][0], dtype=np.int64)
+        lanes = np.asarray(queues[ctx.rank][1], dtype=np.int64)
+        engine.charge_vertices(ctx.rank, lids.size)  # BuildQueue kernel
+        state = ctx.get(name)
+        return _lane_pairs(
+            ctx, ctx.localmap.col_gid(lids), lanes, state[lids, lanes]
+        )
+
+    sbufs_all = engine.map_ranks(build_col)
+
+    handles: list = []
+    rbuf_of: list[Optional[np.ndarray]] = [None] * grid.n_ranks
+    for id_c, ranks in engine.col_groups():
+        rbuf = _group_allgatherv(
+            engine, ranks, [sbufs_all[r] for r in ranks], col_share, handles
+        )
+        _give_back_lanes(sbufs_all, ranks)
+        for r in ranks:
+            rbuf_of[r] = rbuf
+
+    def apply_col(ctx: RankContext) -> np.ndarray:
+        lm = ctx.localmap
+        state = ctx.get(name)
+        rbuf = rbuf_of[ctx.rank]
+        lids = lm.col_lid(rbuf["gid"])
+        ch_lids, ch_lanes = scatter_reduce_lanes(
+            state, lids, rbuf["val"], op, lanes=rbuf["lane"]
+        )
+        engine.charge_vertices(ctx.rank, rbuf.size)  # ReduceQueue kernel
+        # Row-stage queue: changed ghosts plus this rank's own local
+        # updates, restricted to row-owned cells; dedup on a lane-major
+        # composite so each lane's GIDs stay in 1-D sorted order.
+        qlids = np.asarray(queues[ctx.rank][0], dtype=np.int64)
+        qlanes = np.asarray(queues[ctx.rank][1], dtype=np.int64)
+        cand_gid = np.concatenate([lm.col_gid(ch_lids), lm.col_gid(qlids)])
+        cand_lane = np.concatenate([ch_lanes, qlanes])
+        owned = lm.owns_row_gid(cand_gid)
+        comp = cand_lane[owned] * n_v + cand_gid[owned]
+        touched = (
+            np.concatenate([ch_lids, qlids]),
+            np.concatenate([ch_lanes, qlanes]),
+        )
+        return unique_bounded(comp, k * n_v), touched
+
+    col_results = engine.map_ranks(apply_col)
+    row_queue_comps = [r[0] for r in col_results]
+    active_col = [r[1] for r in col_results]
+    _wait_all(engine, handles)
+
+    # ---- stage 2: exchange final values along each row group --------
+    def build_row(ctx: RankContext) -> np.ndarray:
+        lm = ctx.localmap
+        comp = row_queue_comps[ctx.rank]
+        gids = comp % n_v
+        lanes = comp // n_v
+        engine.charge_vertices(ctx.rank, gids.size)
+        state = ctx.get(name)
+        return _lane_pairs(ctx, gids, lanes, state[lm.row_lid(gids), lanes])
+
+    sbufs_all = engine.map_ranks(build_row)
+
+    handles = []
+    rbuf_of = [None] * grid.n_ranks
+    uniq_of: list[Optional[np.ndarray]] = [None] * grid.n_ranks
+    n_updated = np.zeros(k, dtype=np.int64)
+    for id_r, ranks in engine.row_groups():
+        rbuf = _group_allgatherv(
+            engine, ranks, [sbufs_all[r] for r in ranks], row_share, handles
+        )
+        _give_back_lanes(sbufs_all, ranks)
+        uniq_comp = unique_bounded(rbuf["lane"] * n_v + rbuf["gid"], k * n_v)
+        n_updated += np.bincount(
+            (uniq_comp // n_v).astype(np.int64), minlength=k
+        )
+        for r in ranks:
+            rbuf_of[r] = rbuf
+            uniq_of[r] = uniq_comp
+
+    def apply_row(ctx: RankContext) -> tuple[np.ndarray, np.ndarray]:
+        lm = ctx.localmap
+        state = ctx.get(name)
+        rbuf = rbuf_of[ctx.rank]
+        # Values are final after the column reduction; assignment.
+        state[lm.row_lid(rbuf["gid"]), rbuf["lane"]] = rbuf["val"]
+        engine.charge_vertices(ctx.rank, rbuf.size)
+        uniq_comp = uniq_of[ctx.rank]
+        return lm.row_lid(uniq_comp % n_v), uniq_comp // n_v
+
+    active_row = engine.map_ranks(apply_row)
+    _wait_all(engine, handles)
+    return LaneSparseResult(
+        active_row=active_row, n_updated=n_updated, active_col=active_col
+    )
 
 
 def sparse_pull(

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["VertexQueue", "unique_new"]
+__all__ = ["LaneVertexQueue", "VertexQueue", "unique_new"]
 
 
 def unique_new(candidates: np.ndarray, q_in: np.ndarray) -> np.ndarray:
@@ -69,3 +69,41 @@ class VertexQueue:
     @property
     def empty(self) -> bool:
         return len(self) == 0
+
+
+class LaneVertexQueue:
+    """A lane-tagged queue for batched multi-source traversal.
+
+    Entries are ``(lid, lane)`` cells of a ``(n_total, k)`` lane state;
+    deduplication is per cell (the same vertex may be active in several
+    lanes at once).  Internally a composite lane-major index reuses
+    :class:`VertexQueue`, so the dedup semantics — and the sorted drain
+    order within each lane — match the 1-D queue exactly.
+    """
+
+    def __init__(self, n_total: int, k: int):
+        self.n_total = int(n_total)
+        self.k = int(k)
+        self._q = VertexQueue(self.n_total * self.k)
+
+    def push(self, lids: np.ndarray, lanes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Insert ``(lid, lane)`` cells; returns the newly added pairs."""
+        comp = (
+            np.asarray(lanes, dtype=np.int64) * self.n_total
+            + np.asarray(lids, dtype=np.int64)
+        )
+        fresh = self._q.push(comp)
+        return fresh % self.n_total, fresh // self.n_total
+
+    def drain(self) -> tuple[np.ndarray, np.ndarray]:
+        """All queued ``(lids, lanes)`` in lane-major sorted order;
+        resets for the next iteration."""
+        comp = self._q.drain()
+        return comp % self.n_total, comp // self.n_total
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+    @property
+    def empty(self) -> bool:
+        return self._q.empty

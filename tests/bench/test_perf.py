@@ -95,3 +95,22 @@ def test_repo_trajectory_is_valid():
     for e in data["entries"]:
         assert e["protocol"]["ranks"] > 0
         assert set(e["algorithms"]) == {"BFS", "PR", "CC"}
+
+
+class TestBatched:
+    def test_no_batched_by_default(self, entry):
+        assert "batched" not in entry
+
+    def test_batched_section_shape(self):
+        entry = run_perf(
+            scale=7, ranks=4, repeats=1, primitives=False,
+            batch=True, batch_ks=(2,),
+        )
+        b = entry["batched"]["k2"]
+        assert b["k"] == 2 and len(b["roots"]) == 2
+        assert b["bit_identical"] is True
+        calls = b["allgatherv_calls"]
+        assert calls["sequential"] > calls["batched"] > 0
+        assert calls["ratio"] > 1.0
+        assert b["sequential"]["best_s"] > 0 and b["batched"]["best_s"] > 0
+        json.dumps(entry)

@@ -131,3 +131,52 @@ def test_context_scratch_pools_are_per_rank(rmat_graph=None):
     # Same (rank, dtype) always resolves to the same pool.
     assert e.contexts[0].scratch_pool(np.float64) is pools[0]
     assert e.contexts[0].scratch_pool(np.int64) is not pools[0]
+
+
+class TestTake2D:
+    """2-D lane-slice buffers recycled through the 1-D pool."""
+
+    def test_shape_dtype_contiguity(self):
+        pool = BufferPool(np.float64)
+        buf = pool.take2d(5, 3)
+        assert buf.shape == (5, 3) and buf.dtype == np.float64
+        assert buf.flags.c_contiguous and buf.flags.writeable
+
+    def test_zero_rows(self):
+        pool = BufferPool(np.float64)
+        assert pool.take2d(0, 4).shape == (0, 4)
+
+    def test_recycled_through_1d_pool(self):
+        pool = BufferPool(np.float64)
+        buf = pool.take2d(4, 2)
+        pool.give(buf)
+        again = pool.take2d(2, 4)  # same element count, new shape
+        assert again.shape == (2, 4)
+        assert pool.hits == 1
+
+    def test_double_give_2d_ignored(self):
+        pool = BufferPool(np.int64)
+        buf = pool.take2d(3, 2)
+        pool.give(buf)
+        pool.give(buf)
+        assert len(pool._free) == 1
+
+    def test_give_2d_and_1d_views_of_same_base_once(self):
+        # The identity guard must see through reshape view chains: a
+        # 2-D view and the 1-D view it came from share one backing.
+        pool = BufferPool(np.float64)
+        a = pool.take(12)
+        b = a.reshape(3, 4)
+        pool.give(b)
+        pool.give(a)
+        assert len(pool._free) == 1
+
+
+def test_root_base_walks_view_chains():
+    from repro.kernels.buffers import _root_base
+
+    backing = np.zeros(12)
+    assert _root_base(backing) is backing
+    assert _root_base(backing[:8]) is backing
+    assert _root_base(backing[:8].reshape(2, 4)) is backing
+    assert _root_base(backing[:8].reshape(2, 4)[1:]) is backing

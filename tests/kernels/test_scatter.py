@@ -196,3 +196,120 @@ class TestSegmentReduce:
     def test_bad_op(self):
         with pytest.raises(ScatterError):
             segment_reduce(np.arange(3), np.array([0]), "mean")
+
+
+# ---------------------------------------------------------------------
+# Lane-aware 2-D scatter (batched multi-source traversal)
+# ---------------------------------------------------------------------
+
+from repro.kernels import scatter_reduce_lanes  # noqa: E402
+
+
+@st.composite
+def lane_scatter_case(draw):
+    n = draw(st.integers(min_value=1, max_value=30))
+    k = draw(st.integers(min_value=1, max_value=5))
+    m = draw(st.integers(min_value=0, max_value=120))
+    lids = draw(
+        st.lists(st.integers(min_value=0, max_value=n - 1), min_size=m, max_size=m)
+    )
+    lanes = draw(
+        st.lists(st.integers(min_value=0, max_value=k - 1), min_size=m, max_size=m)
+    )
+    finite = st.floats(
+        min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+    )
+    state = draw(st.lists(finite, min_size=n * k, max_size=n * k))
+    vals = draw(st.lists(finite, min_size=m, max_size=m))
+    return (
+        np.array(state, dtype=np.float64).reshape(n, k),
+        np.array(lids, dtype=np.int64),
+        np.array(lanes, dtype=np.int64),
+        np.array(vals, dtype=np.float64),
+    )
+
+
+class TestScatterReduceLanes:
+    """Per-lane bit-identity to k independent 1-D scatter_reduce calls."""
+
+    @pytest.mark.parametrize("op", OPS)
+    @settings(max_examples=60, deadline=None)
+    @given(case=lane_scatter_case())
+    def test_lane_mode_matches_per_lane_1d(self, case, op):
+        state, lids, lanes, vals = case
+        k = state.shape[1]
+        fused = state.copy()
+        ch_lids, ch_lanes = scatter_reduce_lanes(
+            fused, lids, vals, op, lanes=lanes
+        )
+        for lane in range(k):
+            col = state[:, lane].copy()
+            sel = lanes == lane
+            changed = scatter_reduce(col, lids[sel], vals[sel], op)
+            np.testing.assert_array_equal(fused[:, lane], col, strict=True)
+            np.testing.assert_array_equal(ch_lids[ch_lanes == lane], changed)
+
+    @pytest.mark.parametrize("op", OPS)
+    @settings(max_examples=60, deadline=None)
+    @given(case=lane_scatter_case())
+    def test_row_vector_mode_matches_per_lane_1d(self, case, op):
+        state, lids, _, vals1 = case
+        k = state.shape[1]
+        rng = np.random.default_rng(lids.size)
+        vals = np.outer(
+            vals1 if vals1.size else np.empty(0), np.ones(k)
+        ) + rng.integers(0, 3, size=(lids.size, k))
+        fused = state.copy()
+        ch_lids, ch_lanes = scatter_reduce_lanes(fused, lids, vals, op)
+        for lane in range(k):
+            col = state[:, lane].copy()
+            changed = scatter_reduce(col, lids, vals[:, lane].copy(), op)
+            np.testing.assert_array_equal(fused[:, lane], col, strict=True)
+            np.testing.assert_array_equal(ch_lids[ch_lanes == lane], changed)
+
+    def test_changed_pairs_sorted_by_lid_then_lane(self):
+        state = np.full((6, 3), 10.0)
+        lids = np.array([5, 0, 5, 2], dtype=np.int64)
+        lanes = np.array([2, 1, 0, 1], dtype=np.int64)
+        ch_lids, ch_lanes = scatter_reduce_lanes(
+            state, lids, np.zeros(4), "min", lanes=lanes
+        )
+        comp = ch_lids * 3 + ch_lanes
+        assert np.array_equal(comp, np.sort(comp))
+        assert ch_lids.tolist() == [0, 2, 5, 5]
+        assert ch_lanes.tolist() == [1, 1, 0, 2]
+
+    def test_empty_lids(self):
+        state = np.zeros((4, 2))
+        ch_lids, ch_lanes = scatter_reduce_lanes(
+            state, np.empty(0, dtype=np.int64), np.empty(0), "min",
+            lanes=np.empty(0, dtype=np.int64),
+        )
+        assert ch_lids.size == 0 and ch_lanes.size == 0
+
+    def test_1d_state_rejected(self):
+        with pytest.raises(ScatterError, match="2-D"):
+            scatter_reduce_lanes(
+                np.zeros(4), np.array([0]), np.array([1.0]),
+                lanes=np.array([0]),
+            )
+
+    def test_non_contiguous_state_rejected(self):
+        state = np.zeros((4, 3), order="F")
+        with pytest.raises(ScatterError, match="contiguous"):
+            scatter_reduce_lanes(
+                state, np.array([0]), np.array([1.0]), lanes=np.array([0])
+            )
+
+    def test_lane_shape_mismatch_rejected(self):
+        state = np.zeros((4, 2))
+        with pytest.raises(ScatterError, match="lanes shape"):
+            scatter_reduce_lanes(
+                state, np.array([0, 1]), np.array([1.0, 2.0]),
+                lanes=np.array([0]),
+            )
+
+    def test_row_vector_shape_mismatch_rejected(self):
+        state = np.zeros((4, 2))
+        with pytest.raises(ScatterError, match="row-vector"):
+            scatter_reduce_lanes(state, np.array([0, 1]), np.zeros((2, 3)))

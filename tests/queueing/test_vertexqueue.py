@@ -49,3 +49,54 @@ class TestVertexQueue:
         q = VertexQueue(10)
         assert q.push(np.array([7])).tolist() == [7]
         assert q.push(np.array([7])).size == 0
+
+
+class TestLaneVertexQueue:
+    def test_lane_major_drain_order(self):
+        from repro.queueing import LaneVertexQueue
+
+        q = LaneVertexQueue(8, 3)
+        q.push(np.array([5, 1]), np.array([1, 0]))
+        q.push(np.array([2]), np.array([1]))
+        lids, lanes = q.drain()
+        assert lids.tolist() == [1, 2, 5]
+        assert lanes.tolist() == [0, 1, 1]
+
+    def test_same_vertex_distinct_lanes_kept(self):
+        from repro.queueing import LaneVertexQueue
+
+        q = LaneVertexQueue(4, 2)
+        q.push(np.array([3, 3]), np.array([0, 1]))
+        lids, lanes = q.drain()
+        assert lids.tolist() == [3, 3]
+        assert lanes.tolist() == [0, 1]
+
+    def test_same_cell_deduplicated(self):
+        from repro.queueing import LaneVertexQueue
+
+        q = LaneVertexQueue(4, 2)
+        q.push(np.array([3]), np.array([1]))
+        fresh_lids, fresh_lanes = q.push(np.array([3]), np.array([1]))
+        assert fresh_lids.size == 0 and fresh_lanes.size == 0
+        assert len(q) == 1
+
+    def test_drain_resets_flags(self):
+        from repro.queueing import LaneVertexQueue
+
+        q = LaneVertexQueue(4, 2)
+        q.push(np.array([2]), np.array([0]))
+        q.drain()
+        assert q.empty
+        fresh, _ = q.push(np.array([2]), np.array([0]))
+        assert fresh.size == 1
+
+    def test_k1_matches_vertexqueue(self):
+        from repro.queueing import LaneVertexQueue
+
+        q1 = VertexQueue(10)
+        qk = LaneVertexQueue(10, 1)
+        q1.push(np.array([4, 2, 4]))
+        qk.push(np.array([4, 2, 4]), np.zeros(3, dtype=np.int64))
+        lids, lanes = qk.drain()
+        assert lids.tolist() == q1.drain().tolist()
+        assert lanes.tolist() == [0, 0]

@@ -158,3 +158,20 @@ class TestPerf:
         assert "SpMV" in text
         doc = json.loads(out.read_text())
         assert set(doc["entries"][0]["modeled"]) == {"BFS", "PR", "CC", "SpMV"}
+
+
+class TestPerfBatch:
+    def test_perf_batch_prints_section(self, capsys, tmp_path):
+        out = tmp_path / "traj.json"
+        rc = main(
+            ["perf", "--scale", "6", "--ranks", "4", "--repeats", "1",
+             "--no-primitives", "--batch", "--batch-ks", "2",
+             "--out", str(out)]
+        )
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "batched k-source BFS" in text
+        assert "bit-identical" in text
+        doc = json.loads(out.read_text())
+        entry = doc["entries"][0]["batched"]["k2"]
+        assert entry["bit_identical"] is True
