@@ -82,12 +82,25 @@ def _lane_frontier_sizes(
     return total
 
 
+def _check_resumed_sources(saved, requested, what: str) -> None:
+    """A batch resumed onto different sources would silently produce
+    lanes answering the wrong queries; refuse instead."""
+    saved = [int(s) for s in saved]
+    requested = [int(r) for r in requested]
+    if saved != requested:
+        raise ValueError(
+            f"checkpoint was taken with {what}={saved}, cannot resume a "
+            f"batch over {what}={requested}"
+        )
+
+
 def bfs_batch(
     engine: Engine,
     roots,
     alpha: float = ALPHA,
     beta: float = BETA,
     hybrid: bool = True,
+    resume: bool = False,
 ) -> AlgorithmResult:
     """Hybrid BFS from ``k`` roots in one fused superstep stream.
 
@@ -97,13 +110,24 @@ def bfs_batch(
     ``directions`` logs.  Each lane switches push/pull independently
     with the same Beamer heuristic and retires as soon as its frontier
     empties; live lanes keep sharing one exchange per superstep.
+    ``resume=True`` continues from the engine's latest attached
+    checkpoint (taken at a superstep boundary of a run over the *same*
+    roots) instead of starting over, falling back to a fresh run when
+    there is none.
     """
     part, grid = engine.partition, engine.grid
     n = part.n_vertices
     roots = validate_roots(n, roots)
     k = roots.size
     if k == 1:
-        res = bfs(engine, int(roots[0]), alpha=alpha, beta=beta, hybrid=hybrid)
+        res = bfs(
+            engine,
+            int(roots[0]),
+            alpha=alpha,
+            beta=beta,
+            hybrid=hybrid,
+            resume=resume,
+        )
         return AlgorithmResult(
             values=res.values.reshape(-1, 1),
             timings=res.timings,
@@ -118,49 +142,84 @@ def bfs_batch(
         )
     roots_rel = part.perm[roots].astype(np.int64)
 
-    engine.reset_timers()
-    compute_global_degrees(engine)
-    m_total = 0.0
+    st = engine.resume_from_checkpoint("bfs_batch") if resume else None
+    if st is None:
+        engine.reset_timers()
+        compute_global_degrees(engine)
+        m_total = 0.0
 
-    def alloc_state(ctx):
-        ctx.alloc("parent", np.float64, fill=INF, width=k)
-        ctx.alloc("level", np.float64, fill=INF, width=k)
+        def alloc_state(ctx):
+            ctx.alloc("parent", np.float64, fill=INF, width=k)
+            ctx.alloc("level", np.float64, fill=INF, width=k)
 
-    engine.foreach(alloc_state)
-    for id_r, ranks in engine.row_groups():
-        ctx0 = engine.ctx(ranks[0])
-        m_total += float(ctx0.get("deg")[ctx0.row_slice].sum())
+        engine.foreach(alloc_state)
+        for id_r, ranks in engine.row_groups():
+            ctx0 = engine.ctx(ranks[0])
+            m_total += float(ctx0.get("deg")[ctx0.row_slice].sum())
 
-    # Seed every root in its lane, everywhere it is visible.
-    def seed_roots(ctx):
-        lm = ctx.localmap
-        parent = ctx.get("parent")
-        level = ctx.get("level")
-        entry_lids, entry_lanes = [], []
-        degs = np.full(k, np.nan)
-        for lane in range(k):
-            rr = int(roots_rel[lane])
-            lids = []
-            if lm.row_start <= rr < lm.row_stop:
-                lids.append(lm.row_lid(rr))
-            if lm.col_start <= rr < lm.col_stop:
-                lids.append(lm.col_lid(rr))
-            for lid in lids:
-                parent[lid, lane] = roots[lane]
-                level[lid, lane] = 0.0
-            if lids:
-                degs[lane] = float(ctx.get("deg")[lids[0]])
-            if lm.row_start <= rr < lm.row_stop:
-                entry_lids.append(lm.row_lid(rr))
-                entry_lanes.append(lane)
-        return (
-            np.asarray(entry_lids, dtype=np.int64),
-            np.asarray(entry_lanes, dtype=np.int64),
-        ), degs
+        # Seed every root in its lane, everywhere it is visible.
+        def seed_roots(ctx):
+            lm = ctx.localmap
+            parent = ctx.get("parent")
+            level = ctx.get("level")
+            entry_lids, entry_lanes = [], []
+            degs = np.full(k, np.nan)
+            for lane in range(k):
+                rr = int(roots_rel[lane])
+                lids = []
+                if lm.row_start <= rr < lm.row_stop:
+                    lids.append(lm.row_lid(rr))
+                if lm.col_start <= rr < lm.col_stop:
+                    lids.append(lm.col_lid(rr))
+                for lid in lids:
+                    parent[lid, lane] = roots[lane]
+                    level[lid, lane] = 0.0
+                if lids:
+                    degs[lane] = float(ctx.get("deg")[lids[0]])
+                if lm.row_start <= rr < lm.row_stop:
+                    entry_lids.append(lm.row_lid(rr))
+                    entry_lanes.append(lane)
+            return (
+                np.asarray(entry_lids, dtype=np.int64),
+                np.asarray(entry_lanes, dtype=np.int64),
+            ), degs
+
+        seeded = engine.map_ranks(seed_roots)
+        frontier = [entry for entry, _ in seeded]
+        root_deg = np.array(
+            [
+                next(
+                    (d[lane] for _, d in seeded if not np.isnan(d[lane])),
+                    0.0,
+                )
+                for lane in range(k)
+            ]
+        )
+
+        n_visited = np.ones(k, dtype=np.int64)
+        m_frontier = root_deg.copy()
+        m_frontier_prev = np.zeros(k)
+        m_unvisited = m_total - root_deg
+        bottom_up = np.zeros(k, dtype=bool)
+        lane_done = np.zeros(k, dtype=bool)
+        depth = 0
+        direction_log: list[list[str]] = [[] for _ in range(k)]
+    else:
+        _check_resumed_sources(st["roots"], roots, "roots")
+        frontier = st["frontier"]
+        n_visited = st["n_visited"]
+        m_frontier = st["m_frontier"]
+        m_frontier_prev = st["m_frontier_prev"]
+        m_unvisited = st["m_unvisited"]
+        bottom_up = st["bottom_up"]
+        lane_done = st["lane_done"]
+        depth = st["depth"]
+        direction_log = st["direction_log"]
 
     # Per-rank GID lookup tables (float64, built once): translating a
     # candidate parent in the edge loops becomes a single gather
     # instead of two GID-arithmetic passes plus a cast per superstep.
+    # Derived and uncharged, so recomputing on a resume is clock-neutral.
     def gid_tables(ctx):
         lm = ctx.localmap
         rs, cs = ctx.row_slice, ctx.col_slice
@@ -182,23 +241,19 @@ def bfs_batch(
         for _r in _ranks:
             row_leader[_r] = _ranks[0]
 
-    seeded = engine.map_ranks(seed_roots)
-    frontier = [entry for entry, _ in seeded]
-    root_deg = np.array(
-        [
-            next((d[lane] for _, d in seeded if not np.isnan(d[lane])), 0.0)
-            for lane in range(k)
-        ]
-    )
-
-    n_visited = np.ones(k, dtype=np.int64)
-    m_frontier = root_deg.copy()
-    m_frontier_prev = np.zeros(k)
-    m_unvisited = m_total - root_deg
-    bottom_up = np.zeros(k, dtype=bool)
-    lane_done = np.zeros(k, dtype=bool)
-    depth = 0
-    direction_log: list[list[str]] = [[] for _ in range(k)]
+    def _loop_state():
+        return {
+            "roots": [int(r) for r in roots],
+            "frontier": frontier,
+            "n_visited": n_visited,
+            "m_frontier": m_frontier,
+            "m_frontier_prev": m_frontier_prev,
+            "m_unvisited": m_unvisited,
+            "bottom_up": bottom_up,
+            "lane_done": lane_done,
+            "depth": depth,
+            "direction_log": direction_log,
+        }
 
     while not lane_done.all():
         depth += 1
@@ -364,7 +419,7 @@ def bfs_batch(
         if not cont.any():
             if flags_handle is not None:
                 engine.comm.wait(flags_handle)
-            engine.superstep_boundary("bfs_batch")
+            engine.superstep_boundary("bfs_batch", _loop_state())
             break
 
         # Record levels of freshly visited cells and build the next
@@ -470,7 +525,7 @@ def bfs_batch(
         n_visited[cont] += n_upd[cont]
         m_unvisited[cont] -= m_frontier[cont]
         lane_done |= cont & (n_visited >= n)
-        engine.superstep_boundary("bfs_batch")
+        engine.superstep_boundary("bfs_batch", _loop_state())
 
     parent_state = engine.gather("parent")
     levels = engine.gather("level")
@@ -496,12 +551,15 @@ def sssp_batch(
     engine: Engine,
     sources,
     max_iterations: Optional[int] = None,
+    resume: bool = False,
 ) -> AlgorithmResult:
     """Bellman-Ford from ``k`` sources in one fused superstep stream.
 
     ``values`` is an ``(n, k)`` distance matrix; column ``l`` is
     bit-identical to ``sssp(engine, sources[l]).values``.  Lanes retire
     individually once their relaxation fixpoints are reached.
+    ``resume=True`` continues from the engine's latest attached
+    checkpoint of a run over the same sources.
     """
     part, grid = engine.partition, engine.grid
     if not part.weighted:
@@ -510,7 +568,12 @@ def sssp_batch(
     sources = validate_roots(n, sources, "sources")
     k = sources.size
     if k == 1:
-        res = sssp(engine, int(sources[0]), max_iterations=max_iterations)
+        res = sssp(
+            engine,
+            int(sources[0]),
+            max_iterations=max_iterations,
+            resume=resume,
+        )
         return AlgorithmResult(
             values=res.values.reshape(-1, 1),
             timings=res.timings,
@@ -523,31 +586,50 @@ def sssp_batch(
             },
         )
     roots_rel = part.perm[sources].astype(np.int64)
-    engine.reset_timers()
 
-    def seed(ctx):
-        lm = ctx.localmap
-        dist = ctx.alloc("dist", np.float64, fill=INF, width=k)
-        entry_lids, entry_lanes = [], []
-        for lane in range(k):
-            rr = int(roots_rel[lane])
-            if lm.row_start <= rr < lm.row_stop:
-                dist[lm.row_lid(rr), lane] = 0.0
-            if lm.col_start <= rr < lm.col_stop:
-                dist[lm.col_lid(rr), lane] = 0.0
-            if lm.row_start <= rr < lm.row_stop:
-                entry_lids.append(lm.row_lid(rr))
-                entry_lanes.append(lane)
-        engine.charge_vertices(ctx.rank, ctx.n_total)
-        return (
-            np.asarray(entry_lids, dtype=np.int64),
-            np.asarray(entry_lanes, dtype=np.int64),
-        )
+    st = engine.resume_from_checkpoint("sssp_batch") if resume else None
+    if st is None:
+        engine.reset_timers()
 
-    frontier = engine.map_ranks(seed)
-    lane_done = np.zeros(k, dtype=bool)
-    lane_iters = np.zeros(k, dtype=np.int64)
-    iterations = 0
+        def seed(ctx):
+            lm = ctx.localmap
+            dist = ctx.alloc("dist", np.float64, fill=INF, width=k)
+            entry_lids, entry_lanes = [], []
+            for lane in range(k):
+                rr = int(roots_rel[lane])
+                if lm.row_start <= rr < lm.row_stop:
+                    dist[lm.row_lid(rr), lane] = 0.0
+                if lm.col_start <= rr < lm.col_stop:
+                    dist[lm.col_lid(rr), lane] = 0.0
+                if lm.row_start <= rr < lm.row_stop:
+                    entry_lids.append(lm.row_lid(rr))
+                    entry_lanes.append(lane)
+            engine.charge_vertices(ctx.rank, ctx.n_total)
+            return (
+                np.asarray(entry_lids, dtype=np.int64),
+                np.asarray(entry_lanes, dtype=np.int64),
+            )
+
+        frontier = engine.map_ranks(seed)
+        lane_done = np.zeros(k, dtype=bool)
+        lane_iters = np.zeros(k, dtype=np.int64)
+        iterations = 0
+    else:
+        _check_resumed_sources(st["sources"], sources, "sources")
+        frontier = st["frontier"]
+        lane_done = st["lane_done"]
+        lane_iters = st["lane_iters"]
+        iterations = st["iterations"]
+
+    def _loop_state():
+        return {
+            "sources": [int(s) for s in sources],
+            "frontier": frontier,
+            "lane_done": lane_done,
+            "lane_iters": lane_iters,
+            "iterations": iterations,
+        }
+
     while not lane_done.all():
         iterations += 1
         active = ~lane_done
@@ -573,7 +655,7 @@ def sssp_batch(
         lane_done |= active & (result.n_updated == 0)
         if max_iterations is not None and iterations >= max_iterations:
             lane_done |= active
-        engine.superstep_boundary("sssp_batch")
+        engine.superstep_boundary("sssp_batch", _loop_state())
 
     values = engine.gather("dist")
     return AlgorithmResult(
@@ -598,6 +680,7 @@ def pagerank_batch(
     iterations: int = 20,
     damping: float = 0.85,
     tol: Optional[float] = None,
+    resume: bool = False,
 ) -> AlgorithmResult:
     """Personalized PageRank from ``k`` seed vertices, one lane each.
 
@@ -606,7 +689,8 @@ def pagerank_batch(
     ``pagerank(engine, personalization=one_hot(seeds[l]), ...)``.
     With ``tol`` set, converged lanes freeze mid-stream and drop out of
     the dense exchanges; the remaining lanes keep sharing one AllReduce
-    per group per iteration.
+    per group per iteration.  ``resume=True`` continues from the
+    engine's latest attached checkpoint of a run over the same seeds.
     """
     n = engine.partition.n_vertices
     grid = engine.grid
@@ -622,6 +706,7 @@ def pagerank_batch(
             damping=damping,
             personalization=pers,
             tol=tol,
+            resume=resume,
         )
         return AlgorithmResult(
             values=res.values.reshape(-1, 1),
@@ -635,21 +720,40 @@ def pagerank_batch(
             },
         )
 
-    tele_global = np.zeros((n, k))
-    tele_global[seeds, np.arange(k)] = 1.0
-    engine.reset_timers()
-    engine.scatter_global("tele", tele_global)
-    compute_global_degrees(engine)
+    st = engine.resume_from_checkpoint("pagerank_batch") if resume else None
+    if st is None:
+        tele_global = np.zeros((n, k))
+        tele_global[seeds, np.arange(k)] = 1.0
+        engine.reset_timers()
+        engine.scatter_global("tele", tele_global)
+        compute_global_degrees(engine)
 
-    def alloc_state(ctx):
-        ctx.alloc("pr", np.float64, fill=1.0 / n, width=k)
-        ctx.alloc("acc", np.float64, width=k)
+        def alloc_state(ctx):
+            ctx.alloc("pr", np.float64, fill=1.0 / n, width=k)
+            ctx.alloc("acc", np.float64, width=k)
 
-    engine.foreach(alloc_state)
-    lane_done = np.zeros(k, dtype=bool)
-    lane_iters = np.zeros(k, dtype=np.int64)
+        engine.foreach(alloc_state)
+        lane_done = np.zeros(k, dtype=bool)
+        lane_iters = np.zeros(k, dtype=np.int64)
+        iterations_run = 0
+    else:
+        _check_resumed_sources(st["seeds"], seeds, "seeds")
+        lane_done = st["lane_done"]
+        lane_iters = st["lane_iters"]
+        iterations_run = st["iterations_run"]
+    # Derived per-rank degree cache; rebuilt lazily either way (it is a
+    # pure function of the restored "deg" array, so the resumed run's
+    # contributions are bit-identical).
     deg_dst: list[Optional[tuple[np.ndarray, np.ndarray]]] = [None] * grid.n_ranks
-    iterations_run = 0
+
+    def _loop_state():
+        return {
+            "seeds": [int(s) for s in seeds],
+            "lane_done": lane_done,
+            "lane_iters": lane_iters,
+            "iterations_run": iterations_run,
+        }
+
     while iterations_run < iterations and not lane_done.all():
         iterations_run += 1
         act = np.flatnonzero(~lane_done)
@@ -732,7 +836,7 @@ def pagerank_batch(
             flags = [max_delta.copy() for _ in all_ranks]
             engine.comm.allreduce(all_ranks, flags, op="max")
             lane_done[act[max_delta < tol]] = True
-        engine.superstep_boundary("pagerank_batch")
+        engine.superstep_boundary("pagerank_batch", _loop_state())
 
     values = engine.gather("pr")
     return AlgorithmResult(

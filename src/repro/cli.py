@@ -217,26 +217,43 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     import json
 
     from .faults.scenarios import (
+        AUTOSCALE_SCENARIOS,
+        DEFAULT_AUTOSCALE_SCENARIOS,
         DEFAULT_ELASTIC_SCENARIOS,
         DEFAULT_SCENARIOS,
         ELASTIC_RUNNERS,
         ELASTIC_SCENARIOS,
         RUNNERS,
         SCENARIOS,
+        run_autoscale_campaign,
         run_campaign,
         run_elastic_campaign,
     )
 
-    runners = ELASTIC_RUNNERS if args.elastic else RUNNERS
+    if args.elastic and args.autoscale:
+        print("--elastic and --autoscale are separate campaigns; pick one")
+        return 2
+    runners = ELASTIC_RUNNERS if (args.elastic or args.autoscale) else RUNNERS
     algos = [a.strip().upper() for a in args.algos.split(",")]
     for algo in algos:
         if algo not in runners:
             print(f"unknown algorithm {algo!r}; choose from {sorted(runners)}")
             return 2
-    known = ELASTIC_SCENARIOS if args.elastic else SCENARIOS
-    defaults = DEFAULT_ELASTIC_SCENARIOS if args.elastic else DEFAULT_SCENARIOS
+    if args.autoscale:
+        known = AUTOSCALE_SCENARIOS
+        defaults = DEFAULT_AUTOSCALE_SCENARIOS
+    elif args.elastic:
+        known = ELASTIC_SCENARIOS
+        defaults = DEFAULT_ELASTIC_SCENARIOS
+    else:
+        known = SCENARIOS
+        defaults = DEFAULT_SCENARIOS
     if args.scenario != "all" and args.scenario not in known:
-        mode = "--elastic" if args.elastic else "non-elastic"
+        mode = (
+            "--autoscale"
+            if args.autoscale
+            else ("--elastic" if args.elastic else "non-elastic")
+        )
         print(
             f"scenario {args.scenario!r} is not a {mode} scenario; "
             f"choose from {sorted(known)}"
@@ -245,7 +262,14 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     scenarios = list(defaults) if args.scenario == "all" else [args.scenario]
     # Elastic campaigns need headroom to shrink: default to a 12-rank
     # grid so a 4x3 layout can lose ranks and still factor usefully.
-    ranks = args.ranks if args.ranks is not None else (12 if args.elastic else 4)
+    # Autoscale campaigns default to 4 so the demote-then-grow-back
+    # round trip is 2x2 -> 1x3 -> 2x2 (back to the original grid).
+    if args.ranks is not None:
+        ranks = args.ranks
+    elif args.elastic:
+        ranks = 12
+    else:
+        ranks = 4
     ds = load(args.dataset, target_edges=args.target_edges, seed=args.seed)
     print(ds.note)
 
@@ -256,6 +280,51 @@ def _cmd_faults(args: argparse.Namespace) -> int:
             cluster=_CLUSTERS[args.cluster],
             executor=args.executor,
         )
+
+    if args.autoscale:
+        report = run_autoscale_campaign(
+            fresh_engine,
+            algos=algos,
+            scenarios=scenarios,
+            checkpoint_interval=args.checkpoint_interval,
+            max_retries=args.max_retries,
+        )
+        header = (
+            f"{'scenario':>26} {'algo':>5} {'status':>10} {'values':>7} "
+            f"{'regrids':>8} {'dem/grow/hold':>13} {'grids':>20} "
+            f"{'regrid[s]':>11}"
+        )
+        print(header)
+        print("-" * len(header))
+        for c in report["cases"]:
+            values = (
+                "exact"
+                if c["values_equal"]
+                else ("~ulp" if c["values_close"] else "DIFF")
+            )
+            trail = "->".join(f"{r}x{cc}" for r, cc in c["grid_trail"])
+            dgh = f"{c['n_demotions']}/{c['n_grows']}/{c['n_holds']}"
+            print(
+                f"{c['scenario']:>26} {c['algo']:>5} {c['status']:>10} "
+                f"{values:>7} {c['n_regrids']:>8} {dgh:>13} {trail:>20} "
+                f"{c['regrid_s']:>11.3e}"
+            )
+        print()
+        print(
+            f"{report['total']} cases: "
+            f"{report['total'] - report['failed']} ok, "
+            f"{report['failed']} failed "
+            f"({report['unrecovered']} unrecovered, "
+            f"{report['diverged']} diverged), "
+            f"{report['demotions']} demotions, {report['grows']} grows, "
+            f"{report['holds']} holds"
+        )
+        if args.out:
+            out = pathlib.Path(args.out)
+            out.parent.mkdir(parents=True, exist_ok=True)
+            out.write_text(json.dumps(report, indent=2))
+            print(f"wrote {out}")
+        return 1 if report["failed"] else 0
 
     if args.elastic:
         report = run_elastic_campaign(
@@ -444,6 +513,7 @@ def build_parser() -> argparse.ArgumentParser:
     faults = sub.add_parser(
         "faults", help="fault-injection scenario campaign with recovery checks"
     )
+    from .faults.scenarios import AUTOSCALE_SCENARIOS as _AUTOSCALE_SCENARIOS
     from .faults.scenarios import ELASTIC_SCENARIOS as _ELASTIC_SCENARIOS
     from .faults.scenarios import RUNNERS as _FAULT_RUNNERS
     from .faults.scenarios import SCENARIOS as _FAULT_SCENARIOS
@@ -454,11 +524,21 @@ def build_parser() -> argparse.ArgumentParser:
              "regrid onto the surviving GPUs instead of resuming in place",
     )
     faults.add_argument(
+        "--autoscale", action="store_true",
+        help="run the autoscale campaign: the health watchdog demotes "
+             "chronic stragglers and the grid grows back onto arriving "
+             "spare ranks",
+    )
+    faults.add_argument(
         "--scenario", default="all",
-        choices=["all"] + sorted(_FAULT_SCENARIOS) + sorted(_ELASTIC_SCENARIOS),
+        choices=["all"]
+        + sorted(_FAULT_SCENARIOS)
+        + sorted(_ELASTIC_SCENARIOS)
+        + sorted(_AUTOSCALE_SCENARIOS),
         help="one scenario, or 'all' for the default campaign "
              "(excludes the deliberately-failing crash-unrecovered); "
-             "with --elastic, one of the elastic scenarios",
+             "with --elastic/--autoscale, one of that campaign's "
+             "scenarios",
     )
     faults.add_argument(
         "--algos", default=",".join(sorted(_FAULT_RUNNERS)),
@@ -469,7 +549,8 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument(
         "--ranks", type=int, default=None,
         help="grid size (default 4; 12 with --elastic so shrinks "
-             "have factor-pair headroom)",
+             "have factor-pair headroom; 4 with --autoscale so the "
+             "demote/grow round trip returns to the original 2x2)",
     )
     faults.add_argument("--cluster", choices=sorted(_CLUSTERS), default="aimos")
     faults.add_argument("--target-edges", type=int, default=1 << 12)

@@ -273,6 +273,24 @@ class VirtualClocks:
             self.counter_marks.append(self.counters.snapshot())
         return now - prev
 
+    def per_rank_lanes(self) -> dict[str, np.ndarray]:
+        """Per-rank copies of every lane, keyed by lane name.
+
+        The sampling surface of the rank-health watchdog
+        (:class:`~repro.faults.health.HealthMonitor`): consecutive
+        samples at superstep boundaries diff into per-rank progress
+        deltas, from which deviation scores are computed.  Copies, so a
+        held sample is immune to subsequent charging.
+        """
+        return {
+            "clock": self.clock.copy(),
+            "compute": self.compute.copy(),
+            "comm": self.comm.copy(),
+            "recovery": self.recovery.copy(),
+            "regrid": self.regrid.copy(),
+            "overlap": self.overlap.copy(),
+        }
+
     @property
     def elapsed(self) -> float:
         return float(self.clock.max())

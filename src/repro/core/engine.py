@@ -178,6 +178,15 @@ class Engine:
         self._injector = None
         self._last_injector = None
         self._checkpoints = None
+        # Rank-health watchdog hooks (see repro.faults.health): the
+        # monitor samples per-rank clock lanes at superstep boundaries;
+        # the autoscaler turns its classifications (and planned spare
+        # arrivals) into demote/grow decisions.
+        self._health = None
+        self._autoscaler = None
+        # Spares delivered by consumed ``recover`` specs and not yet
+        # adopted by a grow; carried across rebuild_on_grid.
+        self.spare_ranks = 0
         # Regrid events recorded by elastic recovery; the list is
         # *shared* across rebuild_on_grid generations so the final
         # engine's fault_events tells the whole run's story.
@@ -459,6 +468,33 @@ class Engine:
     def checkpoints(self):
         return self._checkpoints
 
+    def attach_health(self, monitor) -> None:
+        """Sample per-rank progress at every superstep boundary;
+        ``monitor`` is a :class:`~repro.faults.health.HealthMonitor`.
+        Binding (re)baselines it against this engine's current clocks.
+        """
+        self._health = monitor
+        monitor.bind(self)
+
+    def detach_health(self) -> None:
+        self._health = None
+
+    @property
+    def health(self):
+        return self._health
+
+    def attach_autoscaler(self, controller) -> None:
+        """Give ``controller`` (an object with ``on_boundary(engine,
+        superstep)`` and ``spare_arrived(engine, superstep, count)``,
+        e.g. :class:`~repro.faults.health.AutoscaleRecovery`) the
+        boundary hook where it may raise
+        :class:`~repro.faults.injector.RankDemotion` or
+        :class:`~repro.faults.injector.SpareArrival`."""
+        self._autoscaler = controller
+
+    def detach_autoscaler(self) -> None:
+        self._autoscaler = None
+
     @property
     def fault_events(self) -> list:
         """Fault events observed by the current (or most recent)
@@ -470,11 +506,17 @@ class Engine:
         events.sort(key=lambda e: e.get("superstep", 0))
         return events
 
-    def record_regrid(self, event: dict) -> None:
-        """Record one elastic regrid event (see
-        :class:`~repro.faults.elastic.ElasticRecovery`); it surfaces
-        through :attr:`fault_events` and therefore on trace rows."""
+    def record_event(self, event: dict) -> None:
+        """Record one robustness event (regrid, health transition,
+        demotion, grow, hold, checkpoint skip, ...); it surfaces
+        through :attr:`fault_events` and therefore on trace rows.
+        Events should carry a ``"superstep"`` key so the trace recorder
+        can attach them to the right iteration row."""
         self._regrid_events.append(event)
+
+    # Backwards-compatible name from the elastic-recovery PR; regrid
+    # events were the only recorded kind before the health subsystem.
+    record_regrid = record_event
 
     def rebuild_on_grid(self, grid: Grid2D) -> "Engine":
         """Build a fresh engine for the same graph on a new grid.
@@ -508,6 +550,13 @@ class Engine:
             new.attach_faults(self._injector, max_retries=max_retries)
         if self._checkpoints is not None:
             new.attach_checkpoints(self._checkpoints)
+        if self._health is not None:
+            # Re-binding resizes the ledger to the new rank count and
+            # re-baselines scores (rank identities changed anyway).
+            new.attach_health(self._health)
+        if self._autoscaler is not None:
+            new.attach_autoscaler(self._autoscaler)
+        new.spare_ranks = self.spare_ranks
         new._regrid_events = self._regrid_events
         return new
 
@@ -518,16 +567,47 @@ class Engine:
         ``engine.clocks.mark_iteration()`` directly: it records the
         iteration mark (returning the phase-time delta, as before),
         saves a checkpoint when a manager is attached and the algorithm
-        supplied its loop ``state``, and advances the fault injector to
-        the next superstep.  Algorithms call this exactly once per
+        supplied its loop ``state``, delivers planned spare arrivals,
+        advances the fault injector to the next superstep, feeds the
+        health monitor a progress sample, and gives the autoscaler its
+        decision point.  Algorithms call this exactly once per
         superstep.
+
+        The ordering is deliberate: the checkpoint is saved *before*
+        the autoscaler may raise
+        :class:`~repro.faults.injector.RankDemotion` /
+        :class:`~repro.faults.injector.SpareArrival`, so a demotion or
+        grow drains from the checkpoint of *this* boundary and the
+        resumed run recomputes nothing.
         """
         delta = self.clocks.mark_iteration()
         superstep = len(self.clocks.iteration_marks)
         if self._checkpoints is not None and state is not None:
             self._checkpoints.maybe_save(self, superstep, algo, state)
         if self._injector is not None:
+            arrivals = self._injector.arrivals_for(superstep)
+            if arrivals:
+                from ..faults.plan import FaultEvent
+
+                for spec in arrivals:
+                    self.spare_ranks += spec.count
+                    self._injector.record(
+                        FaultEvent(
+                            kind="recover",
+                            rank=None,
+                            superstep=superstep,
+                            collective="boundary",
+                        )
+                    )
+                    if self._autoscaler is not None:
+                        self._autoscaler.spare_arrived(
+                            self, superstep, spec.count
+                        )
             self._injector.begin_superstep(superstep + 1)
+        if self._health is not None:
+            self._health.observe(self, superstep)
+        if self._autoscaler is not None:
+            self._autoscaler.on_boundary(self, superstep)
         return delta
 
     def restore(self, ckpt) -> None:
@@ -556,6 +636,10 @@ class Engine:
         self.clocks.load_state(ckpt.clocks)
         if self._injector is not None:
             self._injector.begin_superstep(ckpt.superstep + 1)
+        if self._health is not None:
+            # Clocks just rewound; re-baseline so the next observation
+            # diffs against the restored values, not the pre-crash ones.
+            self._health.bind(self)
 
     def resume_from_checkpoint(self, algo: str) -> Optional[dict]:
         """Restore from the attached manager's latest checkpoint.
@@ -598,10 +682,13 @@ class Engine:
         self.counters.reset()
         self.clocks.reset()
         self._regrid_events.clear()
+        self.spare_ranks = 0
         if self._injector is not None:
             self._injector.reset()
         if self._checkpoints is not None:
             self._checkpoints.clear()
+        if self._health is not None:
+            self._health.bind(self)
 
     def timing_report(self) -> TimingReport:
         snap = self.clocks.snapshot()

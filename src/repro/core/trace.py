@@ -55,7 +55,12 @@ class IterationTrace:
     by_kind: dict[str, dict[str, int]] = field(default_factory=dict)
     #: Fault events observed during this iteration (plain dicts with
     #: kind / rank / superstep / collective / retries / recovery_s),
-    #: empty in fault-free runs.  See ``repro.faults``.
+    #: empty in fault-free runs.  Beyond injector events this includes
+    #: the robustness-layer kinds: ``health`` (watchdog transitions),
+    #: ``demote`` / ``grow`` / ``hold`` (autoscaler decisions),
+    #: ``regrid`` (elastic migrations), and ``checkpoint-skip``
+    #: (corrupt on-disk checkpoints passed over during recovery).
+    #: See ``repro.faults`` and ``repro.faults.health``.
     faults: tuple = ()
 
     def as_dict(self) -> dict[str, Any]:
@@ -141,7 +146,11 @@ class TraceRecorder:
         # the tail row.
         by_step: dict[int, list[dict]] = {}
         for event in getattr(self.engine, "fault_events", []):
-            by_step.setdefault(event["superstep"], []).append(event)
+            # Robustness-layer events (health / demote / grow / hold /
+            # checkpoint-skip) always carry a superstep, but tolerate
+            # hand-built dicts that omit it: attribute them to the
+            # pre-first-mark work that lands in iteration 1.
+            by_step.setdefault(event.get("superstep", 0), []).append(event)
         rows: list[IterationTrace] = []
         prev_t = PhaseTimes(0.0, 0.0, 0.0)
         prev_c = CounterSnapshot.empty()

@@ -16,8 +16,13 @@ The robustness layer of the simulator (see ``docs/ROBUSTNESS.md``):
 * :mod:`repro.faults.elastic` — degraded-mode recovery from
   *permanent* rank loss: migrate the latest checkpoint onto a smaller
   surviving grid (or a hot spare) and resume;
+* :mod:`repro.faults.health` — the rank-health watchdog
+  (:class:`HealthMonitor`), chronic-straggler demotion
+  (:class:`DemotionPolicy`), and the grow-back autoscaler
+  (:class:`AutoscalePolicy` / :class:`AutoscaleRecovery`) that close
+  the elastic loop in both directions;
 * :mod:`repro.faults.scenarios` — the named scenario campaigns behind
-  ``python -m repro faults`` (and ``--elastic``).
+  ``python -m repro faults`` (``--elastic``, ``--autoscale``).
 """
 
 from .checkpoint import (
@@ -39,16 +44,27 @@ from .elastic import (
     migrate_checkpoint,
     resolve_policy,
 )
-from .injector import FaultInjector, RankFailure
+from .health import (
+    RANK_HEALTH,
+    AutoscalePolicy,
+    AutoscaleRecovery,
+    DemotionPolicy,
+    HealthMonitor,
+)
+from .injector import FaultInjector, RankDemotion, RankFailure, SpareArrival
 from .plan import FAULT_KINDS, FaultEvent, FaultPlan, FaultSpec
 from .resilient import ResilientCommunicator
 from .scenarios import (
+    AUTOSCALE_SCENARIOS,
     ELASTIC_RUNNERS,
     ELASTIC_SCENARIOS,
     RUNNERS,
     SCENARIOS,
+    AutoscaleCaseResult,
     CaseResult,
     ElasticCaseResult,
+    run_autoscale_campaign,
+    run_autoscale_case,
     run_campaign,
     run_case,
     run_elastic_campaign,
@@ -73,6 +89,13 @@ __all__ = [
     "resolve_policy",
     "FaultInjector",
     "RankFailure",
+    "RankDemotion",
+    "SpareArrival",
+    "RANK_HEALTH",
+    "HealthMonitor",
+    "DemotionPolicy",
+    "AutoscalePolicy",
+    "AutoscaleRecovery",
     "FAULT_KINDS",
     "FaultEvent",
     "FaultPlan",
@@ -82,10 +105,14 @@ __all__ = [
     "SCENARIOS",
     "ELASTIC_RUNNERS",
     "ELASTIC_SCENARIOS",
+    "AUTOSCALE_SCENARIOS",
     "CaseResult",
     "ElasticCaseResult",
+    "AutoscaleCaseResult",
     "run_campaign",
     "run_case",
     "run_elastic_campaign",
     "run_elastic_case",
+    "run_autoscale_campaign",
+    "run_autoscale_case",
 ]

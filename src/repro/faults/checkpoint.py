@@ -431,12 +431,24 @@ class CheckpointManager:
         return ckpt
 
     @classmethod
-    def latest_on_disk(cls, directory: str) -> Optional[Checkpoint]:
+    def latest_on_disk(
+        cls,
+        directory: str,
+        engine=None,
+        events: Optional[list] = None,
+    ) -> Optional[Checkpoint]:
         """Load the newest healthy ``ckpt_*.pkl`` in ``directory``.
 
-        Corrupt files are skipped with a warning (newest-first, so a
-        partially written final checkpoint falls back to its
-        predecessor); returns ``None`` when nothing healthy remains.
+        Corrupt files are skipped newest-first, so a partially written
+        final checkpoint falls back to its predecessor; returns
+        ``None`` when nothing healthy remains.  Each skip is
+        *structured*, not silent: a ``checkpoint-skip`` event naming
+        the path and the sha256 mismatch is appended to ``events``
+        (when given) and recorded on ``engine`` (when given) so it
+        surfaces through ``Engine.fault_events`` — silently resuming
+        from an older superstep than the operator expects is exactly
+        the kind of surprise the fault ledger exists to prevent.  A
+        ``UserWarning`` is still emitted for callers with neither.
         """
         try:
             names = sorted(
@@ -451,5 +463,27 @@ class CheckpointManager:
             try:
                 return cls.load(path)
             except CheckpointCorruption as exc:
+                try:
+                    superstep = int(name[len("ckpt_") : -len(".pkl")])
+                except ValueError:
+                    superstep = 0
+                event = {
+                    "kind": "checkpoint-skip",
+                    "rank": None,
+                    "superstep": superstep,
+                    "collective": "checkpoint",
+                    "retries": 0,
+                    "recovery_s": 0.0,
+                    "detected": True,
+                    "fatal": False,
+                    "path": path,
+                    "sha256_expected": exc.expected,
+                    "sha256_actual": exc.actual,
+                    "detail": str(exc),
+                }
+                if events is not None:
+                    events.append(event)
+                if engine is not None:
+                    engine.record_event(event)
                 warnings.warn(f"skipping corrupt checkpoint: {exc}")
         return None

@@ -48,7 +48,7 @@ import numpy as np
 from ..comm.clocks import VirtualClocks
 from ..comm.grid import Grid2D, squarest_grid
 from .checkpoint import Checkpoint
-from .injector import RankFailure
+from .injector import RankFailure, SpareArrival
 
 __all__ = [
     "GridPolicy",
@@ -236,7 +236,11 @@ def gather_checkpoint_state(ckpt: Checkpoint) -> dict[str, np.ndarray]:
                     f"{lm.n_total}; only per-vertex states migrate"
                 )
             if rel is None:
-                rel = np.zeros(layout.n_vertices, dtype=arr.dtype)
+                # Trailing dims (e.g. batched k-lane states of shape
+                # (n, k)) ride along: the permutation indexes rows.
+                rel = np.zeros(
+                    (layout.n_vertices,) + arr.shape[1:], dtype=arr.dtype
+                )
             rel[lm.row_start : lm.row_stop] = arr[lm.row_slice]
         assert rel is not None
         out[name] = rel[layout.perm]
@@ -437,6 +441,21 @@ class ElasticRecovery:
         self.regrids = 0
         self.events: list[dict] = []
 
+    def prepare(self, engine) -> None:
+        """Hook for subclasses that install per-engine machinery (the
+        health monitor and autoscaler of
+        :class:`~repro.faults.health.AutoscaleRecovery`).  The base
+        recovery is purely reactive — nothing to install."""
+
+    def grow(self, engine, arrival: SpareArrival):
+        """Hook for the grow direction.  The base recovery only
+        shrinks; spare adoption needs
+        :class:`~repro.faults.health.AutoscaleRecovery`."""
+        raise ElasticUnrecoverable(
+            f"spare arrived at superstep {arrival.superstep} but "
+            f"{type(self).__name__} cannot grow; use AutoscaleRecovery"
+        )
+
     def recover(self, engine, failure: RankFailure):
         """Handle one permanent rank loss; returns the engine to resume
         on (a rebuilt engine, or the same one when a spare absorbed the
@@ -488,6 +507,9 @@ class ElasticRecovery:
             spare = False
         mgr.adopt(migrated)
         self.regrids += 1
+        note_regrid = getattr(self.policy, "note_regrid", None)
+        if note_regrid is not None:
+            note_regrid(failure.superstep)
         event = {
             "kind": "regrid",
             "rank": failure.rank,
@@ -501,6 +523,7 @@ class ElasticRecovery:
             "to_grid": (new_engine.grid.R, new_engine.grid.C),
             "policy": self.policy.name,
             "spare": spare,
+            "reason": getattr(failure, "fault_kind", "crash"),
         }
         new_engine.record_regrid(event)
         self.events.append(event)
@@ -534,10 +557,14 @@ def drive_elastic(
     recovery = _as_recovery(elastic)
     current = engine
     use_resume = resume
+    recovery.prepare(current)
     while True:
         try:
             result = runner(current, use_resume)
             break
+        except SpareArrival as arrival:
+            current = recovery.grow(current, arrival)
+            use_resume = True
         except RankFailure as failure:
             current = recovery.recover(current, failure)
             use_resume = True

@@ -28,7 +28,7 @@ from typing import Optional, Sequence
 
 from .plan import FaultEvent, FaultPlan, FaultSpec
 
-__all__ = ["FaultInjector", "RankFailure"]
+__all__ = ["FaultInjector", "RankFailure", "RankDemotion", "SpareArrival"]
 
 
 class RankFailure(RuntimeError):
@@ -62,6 +62,49 @@ class RankFailure(RuntimeError):
         )
 
 
+class RankDemotion(RankFailure):
+    """A chronic straggler demoted by the health watchdog.
+
+    A *soft* failure: the rank is alive but persistently slow, and the
+    :class:`~repro.faults.health.DemotionPolicy` decided draining it
+    beats dragging the whole BSP group.  Subclassing
+    :class:`RankFailure` means every existing recovery path — the
+    elastic drive loop, `ElasticRecovery.recover`, spare adoption —
+    handles a demotion exactly like a crash, except it is raised at a
+    superstep boundary (so the checkpoint saved at that boundary is
+    current: nothing recomputes).
+    """
+
+    def __init__(self, rank: int, superstep: int, score: float = 0.0):
+        super().__init__(
+            rank,
+            superstep,
+            collective="boundary",
+            fault_kind="chronic-straggler",
+        )
+        self.score = score
+
+
+class SpareArrival(Exception):
+    """Control-flow signal: grow the grid onto an available spare.
+
+    Raised by the attached autoscaler at a superstep boundary when a
+    planned ``recover`` spec has delivered a spare *and* the
+    :class:`~repro.faults.health.AutoscalePolicy` (hysteresis,
+    cooldown, grow budget) decided adoption beats holding.  Not an
+    error — ``drive_elastic`` catches it and runs
+    ``migrate_checkpoint`` in the up direction.
+    """
+
+    def __init__(self, superstep: int, pending: int = 1):
+        self.superstep = superstep
+        self.pending = pending
+        super().__init__(
+            f"spare rank available at superstep {superstep} "
+            f"({pending} pending)"
+        )
+
+
 class FaultInjector:
     """Executes a :class:`FaultPlan` against a running engine.
 
@@ -88,6 +131,10 @@ class FaultInjector:
         self._pending_stragglers: list[FaultSpec] = list(
             s for s in plan if s.kind == "straggler"
         )
+        # spare arrivals are consumed at superstep boundaries
+        self._pending_recovers: list[FaultSpec] = list(
+            s for s in plan if s.kind == "recover"
+        )
 
     # ------------------------------------------------------------------
     # run-position tracking
@@ -109,6 +156,9 @@ class FaultInjector:
         }
         self._pending_stragglers = [
             s for s in self.plan if s.kind == "straggler"
+        ]
+        self._pending_recovers = [
+            s for s in self.plan if s.kind == "recover"
         ]
 
     # ------------------------------------------------------------------
@@ -147,6 +197,21 @@ class FaultInjector:
             self._pending_stragglers.remove(s)
         return fired
 
+    def arrivals_for(self, superstep: int) -> list[FaultSpec]:
+        """Return-and-consume spare-arrival (``recover``) specs due by
+        ``superstep``.
+
+        Called by ``Engine.superstep_boundary`` — spares arrive at BSP
+        boundaries, not inside collectives.  ``<=`` rather than ``==``
+        so an arrival scheduled for a superstep the run skipped (e.g.
+        a restore rewound past it) is delivered at the next boundary
+        instead of silently lost.
+        """
+        fired = [s for s in self._pending_recovers if s.superstep <= superstep]
+        for s in fired:
+            self._pending_recovers.remove(s)
+        return fired
+
     def next_disruption(self, kind: str, ranks: Sequence[int]) -> Optional[FaultSpec]:
         """Consume one failure attempt for this collective, if planned.
 
@@ -179,5 +244,6 @@ class FaultInjector:
         return (
             not self._pending_crashes
             and not self._pending_stragglers
+            and not self._pending_recovers
             and not any(self._attempts.values())
         )

@@ -33,6 +33,13 @@ Fault kinds
 ``straggler``
     The rank stalls ``delay_s`` virtual seconds before the collective,
     gating the whole group (BSP semantics).
+``recover``
+    A *replacement* rank becomes available: ``count`` spare GPUs
+    arrive at the superstep boundary.  Consumed by
+    ``Engine.superstep_boundary`` (not by a collective) and handed to
+    the attached autoscaler — an
+    :class:`~repro.faults.health.AutoscalePolicy` decides whether the
+    run grows back onto ``p+1`` ranks or holds.
 """
 
 from __future__ import annotations
@@ -45,7 +52,7 @@ import numpy as np
 __all__ = ["FAULT_KINDS", "FaultSpec", "FaultPlan", "FaultEvent"]
 
 #: Recognized fault kinds, in documentation order.
-FAULT_KINDS = ("crash", "transient", "corruption", "straggler")
+FAULT_KINDS = ("crash", "transient", "corruption", "straggler", "recover")
 
 
 @dataclass(frozen=True)
@@ -97,6 +104,19 @@ class FaultSpec:
             raise ValueError("straggler faults need delay_s > 0")
         if self.kind in ("crash", "straggler") and self.rank is None:
             raise ValueError(f"{self.kind} faults need an explicit rank")
+        if self.kind == "recover":
+            # Spares are anonymous until adopted: the grown grid assigns
+            # rank numbers, so a targeted recover spec is meaningless.
+            if self.rank is not None:
+                raise ValueError(
+                    "recover specs model anonymous spare arrivals; "
+                    "rank must be None"
+                )
+            if self.collective is not None:
+                raise ValueError(
+                    "recover specs fire at the superstep boundary, not "
+                    "inside a collective; collective must be None"
+                )
         if self.rank is not None and self.rank < 0:
             raise ValueError(f"rank must be >= 0, got {self.rank}")
 
@@ -251,6 +271,7 @@ class FaultPlan:
                 "transient": f"{s.count}x transient failure",
                 "corruption": f"bit {s.bit} flip",
                 "straggler": f"stall {s.delay_s * 1e3:.3f} ms",
+                "recover": f"{s.count} spare rank(s) arrive",
             }[s.kind]
             coll = f" on {s.collective}" if s.collective else ""
             lines.append(f"superstep {s.superstep}: {what} at {where}{coll}")

@@ -40,6 +40,7 @@ import numpy as np
 from ..algorithms import bfs, connected_components, pagerank
 from .checkpoint import CheckpointManager
 from .elastic import ElasticRecovery, ElasticUnrecoverable
+from .health import AutoscalePolicy, AutoscaleRecovery, DemotionPolicy, HealthMonitor
 from .injector import RankFailure
 from .plan import FaultPlan, FaultSpec
 
@@ -55,6 +56,11 @@ __all__ = [
     "ElasticCaseResult",
     "run_elastic_case",
     "run_elastic_campaign",
+    "AUTOSCALE_SCENARIOS",
+    "DEFAULT_AUTOSCALE_SCENARIOS",
+    "AutoscaleCaseResult",
+    "run_autoscale_case",
+    "run_autoscale_campaign",
 ]
 
 #: Named fault plans.  Supersteps are 1-based; ranks assume at least a
@@ -448,6 +454,273 @@ def run_elastic_campaign(
         "unrecovered": sum(1 for c in cases if c.status == "unrecovered"),
         "diverged": sum(1 for c in cases if c.status == "diverged"),
         "regrids": sum(c.n_regrids for c in cases),
+    }
+
+
+#: Graded autoscale scenarios: the health watchdog + bidirectional
+#: elastic loop (demote chronic stragglers, grow back onto spares).
+#: Tuned to the campaign dataset on a 4-rank grid, where BFS — the
+#: shortest run — finishes in 3 supersteps: detection evidence must
+#: accumulate by boundary 2 (two 2 s stalls against ~0.1 s/superstep
+#: natural deltas make the straggler unambiguous at ``chronic_after=2``)
+#: and spares arrive at superstep 3, the last boundary every algorithm
+#: still reaches.
+AUTOSCALE_SCENARIOS: dict[str, dict] = {
+    # A rank stalls 2 s in two consecutive supersteps: suspect at
+    # boundary 1, chronic at boundary 2, demoted (soft failure) and the
+    # run continues on the squarest 3-rank grid.
+    "chronic-straggler-demote": dict(
+        plan=FaultPlan(
+            [
+                FaultSpec("straggler", 1, rank=1, delay_s=2.0),
+                FaultSpec("straggler", 2, rank=1, delay_s=2.0),
+            ]
+        ),
+        monitor=dict(chronic_after=2),
+        expected_regrids=1,
+        expected_rank_delta=-1,
+    ),
+    # A hard crash shrinks the grid; a replacement arrives one
+    # superstep later and the run grows back to full strength.
+    "spare-arrival-grow": dict(
+        plan=FaultPlan(
+            [FaultSpec("crash", 2, rank=1), FaultSpec("recover", 3)]
+        ),
+        expected_regrids=2,
+        expected_rank_delta=0,
+    ),
+    # The full loop: demote a chronic straggler, grow back onto the
+    # arriving spare, and shrug off a *new* straggler on the grown grid
+    # — the demotion budget is spent, so the oscillation guard holds
+    # the grid steady.
+    "demote-then-grow-back": dict(
+        plan=FaultPlan(
+            [
+                FaultSpec("straggler", 1, rank=1, delay_s=2.0),
+                FaultSpec("straggler", 2, rank=1, delay_s=2.0),
+                FaultSpec("recover", 3),
+                FaultSpec("straggler", 3, rank=0, delay_s=2.0),
+            ]
+        ),
+        monitor=dict(chronic_after=2),
+        expected_regrids=2,
+        expected_rank_delta=0,
+    ),
+    # A spare arrives while the run is about to converge: extreme
+    # hysteresis models "the migration would cost more than the
+    # remaining work" — the policy records a hold and never grows.
+    "grow-at-convergence-tail": dict(
+        plan=FaultPlan([FaultSpec("recover", 2)]),
+        autoscale=dict(hysteresis=1000),
+        expected_regrids=0,
+        expected_rank_delta=0,
+    ),
+}
+
+DEFAULT_AUTOSCALE_SCENARIOS = tuple(AUTOSCALE_SCENARIOS)
+
+
+@dataclass
+class AutoscaleCaseResult:
+    """Outcome of one (autoscale scenario, algorithm) pair."""
+
+    scenario: str
+    algo: str
+    status: str  # regridded | completed | unrecovered | diverged
+    values_equal: Optional[bool] = None
+    values_close: Optional[bool] = None
+    n_regrids: int = 0
+    expected_regrids: Optional[int] = None
+    rank_delta: int = 0
+    expected_rank_delta: Optional[int] = None
+    n_demotions: int = 0
+    n_grows: int = 0
+    n_holds: int = 0
+    grid_trail: list = field(default_factory=list)
+    regrid_s: float = 0.0
+    health: dict = field(default_factory=dict)
+    fault_events: list[dict] = field(default_factory=list)
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        if self.status not in ("regridded", "completed"):
+            return False
+        if (
+            self.expected_regrids is not None
+            and self.n_regrids != self.expected_regrids
+        ):
+            return False
+        if (
+            self.expected_rank_delta is not None
+            and self.rank_delta != self.expected_rank_delta
+        ):
+            return False
+        return True
+
+    def as_dict(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "algo": self.algo,
+            "status": self.status,
+            "ok": self.ok,
+            "values_equal": self.values_equal,
+            "values_close": self.values_close,
+            "n_regrids": self.n_regrids,
+            "expected_regrids": self.expected_regrids,
+            "rank_delta": self.rank_delta,
+            "expected_rank_delta": self.expected_rank_delta,
+            "n_demotions": self.n_demotions,
+            "n_grows": self.n_grows,
+            "n_holds": self.n_holds,
+            "grid_trail": [list(g) for g in self.grid_trail],
+            "regrid_s": self.regrid_s,
+            "health": self.health,
+            "fault_events": self.fault_events,
+            "error": self.error,
+        }
+
+
+def run_autoscale_case(
+    make_engine: Callable[[], Any],
+    algo: str,
+    scenario: str,
+    checkpoint_interval: int = 1,
+    max_retries: int = 2,
+) -> AutoscaleCaseResult:
+    """Run one autoscale (scenario, algorithm) pair and grade it.
+
+    The faulted run goes through :class:`AutoscaleRecovery` — health
+    watchdog, demotion, and grow-back all armed — and must finish with
+    values matching the fault-free reference: bit-identical for the
+    monotone algorithms, within ~1 ulp for PageRank once any regrid
+    changed the reduction grouping.  The grade also pins the regrid
+    count *and* the net rank delta, so a scenario that was supposed to
+    return to full strength (or hold) failing to is a failure even
+    when values agree.
+    """
+    if algo not in ELASTIC_RUNNERS:
+        raise ValueError(
+            f"unknown algorithm {algo!r}; choose from {sorted(ELASTIC_RUNNERS)}"
+        )
+    if scenario not in AUTOSCALE_SCENARIOS:
+        raise ValueError(
+            f"unknown autoscale scenario {scenario!r}; choose from "
+            f"{sorted(AUTOSCALE_SCENARIOS)}"
+        )
+    spec = AUTOSCALE_SCENARIOS[scenario]
+    runner = ELASTIC_RUNNERS[algo]
+
+    ref_engine = make_engine()
+    ref_engine.attach_checkpoints(
+        CheckpointManager(interval=checkpoint_interval)
+    )
+    ref = runner(ref_engine, None)
+
+    engine = make_engine()
+    engine.attach_checkpoints(CheckpointManager(interval=checkpoint_interval))
+    engine.attach_faults(spec["plan"], max_retries=max_retries)
+    recovery = AutoscaleRecovery(
+        policy=AutoscalePolicy(**spec.get("autoscale", {})),
+        monitor=HealthMonitor(**spec.get("monitor", {})),
+        demotion=DemotionPolicy(**spec.get("demotion", {})),
+    )
+    start_grid = (engine.grid.R, engine.grid.C)
+    expected_regrids = spec.get("expected_regrids")
+    expected_rank_delta = spec.get("expected_rank_delta")
+
+    try:
+        result = runner(engine, recovery)
+    except ElasticUnrecoverable as exc:
+        return AutoscaleCaseResult(
+            scenario=scenario,
+            algo=algo,
+            status="unrecovered",
+            n_regrids=recovery.regrids,
+            expected_regrids=expected_regrids,
+            expected_rank_delta=expected_rank_delta,
+            grid_trail=[start_grid]
+            + [
+                e["to_grid"] for e in recovery.events if "to_grid" in e
+            ],
+            fault_events=list(recovery.events),
+            error=str(exc),
+        )
+
+    info = result.extra.get("elastic", {})
+    final_engine = info.get("engine", engine)
+    n_regrids = int(info.get("regrids", 0))
+    values_equal = bool(np.array_equal(ref.values, result.values))
+    values_close = bool(
+        np.allclose(ref.values, result.values, rtol=1e-9, atol=1e-12)
+    )
+    acceptable = values_equal or (
+        algo == "PR" and n_regrids > 0 and values_close
+    )
+    status = (
+        "diverged"
+        if not acceptable
+        else ("regridded" if n_regrids else "completed")
+    )
+    events = list(recovery.events)
+    return AutoscaleCaseResult(
+        scenario=scenario,
+        algo=algo,
+        status=status,
+        values_equal=values_equal,
+        values_close=values_close,
+        n_regrids=n_regrids,
+        expected_regrids=expected_regrids,
+        rank_delta=final_engine.n_ranks - (start_grid[0] * start_grid[1]),
+        expected_rank_delta=expected_rank_delta,
+        n_demotions=sum(1 for e in events if e["kind"] == "demote"),
+        n_grows=sum(1 for e in events if e["kind"] == "grow"),
+        n_holds=sum(1 for e in events if e["kind"] == "hold"),
+        grid_trail=[start_grid]
+        + [e["to_grid"] for e in events if "to_grid" in e],
+        regrid_s=float(final_engine.clocks.regrid_total),
+        health=recovery.monitor.report(),
+        fault_events=final_engine.fault_events,
+    )
+
+
+def run_autoscale_campaign(
+    make_engine: Callable[[], Any],
+    algos: Sequence[str] = ("BFS", "PR", "CC"),
+    scenarios: Sequence[str] = DEFAULT_AUTOSCALE_SCENARIOS,
+    checkpoint_interval: int = 1,
+    max_retries: int = 2,
+) -> dict:
+    """Run the autoscale scenario x algorithm grid; return a report.
+
+    ``report["failed"]`` counts cases that diverged, failed to recover,
+    regridded a different number of times than expected, or ended on
+    the wrong rank count — the ``python -m repro faults --autoscale``
+    CLI turns it into the process exit code.
+    """
+    cases = []
+    for scenario in scenarios:
+        for algo in algos:
+            cases.append(
+                run_autoscale_case(
+                    make_engine,
+                    algo,
+                    scenario,
+                    checkpoint_interval=checkpoint_interval,
+                    max_retries=max_retries,
+                )
+            )
+    return {
+        "schema": "repro.faults.autoscale.v1",
+        "cases": [c.as_dict() for c in cases],
+        "total": len(cases),
+        "failed": sum(1 for c in cases if not c.ok),
+        "unrecovered": sum(1 for c in cases if c.status == "unrecovered"),
+        "diverged": sum(1 for c in cases if c.status == "diverged"),
+        "regrids": sum(c.n_regrids for c in cases),
+        "demotions": sum(c.n_demotions for c in cases),
+        "grows": sum(c.n_grows for c in cases),
+        "holds": sum(c.n_holds for c in cases),
     }
 
 

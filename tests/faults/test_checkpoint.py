@@ -275,6 +275,41 @@ class TestCorruptionDetection:
         with pytest.warns(UserWarning):
             assert CheckpointManager.latest_on_disk(str(tmp_path)) is None
 
+    def test_corrupt_skip_emits_structured_event(self, tmp_path):
+        """Skipping a corrupt checkpoint is not silent: a
+        ``checkpoint-skip`` event names the path and both digests."""
+        older, newer = self._two_checkpoints(tmp_path)
+        with open(newer, "rb") as fh:
+            data = bytearray(fh.read())
+        data[len(data) // 2] ^= 0xFF  # deep bit flip → sha256 mismatch
+        with open(newer, "wb") as fh:
+            fh.write(bytes(data))
+        events = []
+        with pytest.warns(UserWarning, match="skipping corrupt checkpoint"):
+            ckpt = CheckpointManager.latest_on_disk(str(tmp_path), events=events)
+        assert ckpt is not None and ckpt.superstep == 1
+        assert len(events) == 1
+        ev = events[0]
+        assert ev["kind"] == "checkpoint-skip"
+        assert ev["collective"] == "checkpoint"
+        assert ev["superstep"] == 2
+        assert ev["path"] == newer
+        assert ev["detected"] is True and ev["fatal"] is False
+        assert ev["sha256_expected"] != ev["sha256_actual"]
+        assert ev["sha256_expected"] is not None
+
+    def test_corrupt_skip_records_event_on_engine(self, tmp_path):
+        """With an engine passed, the skip lands in ``fault_events`` so
+        traces show recovery passing over a bad checkpoint."""
+        older, newer = self._two_checkpoints(tmp_path)
+        with open(newer, "wb") as fh:
+            fh.write(b"garbage")
+        engine = small_engine()
+        with pytest.warns(UserWarning):
+            CheckpointManager.latest_on_disk(str(tmp_path), engine=engine)
+        kinds = [e["kind"] for e in engine.fault_events]
+        assert "checkpoint-skip" in kinds
+
 
 class TestAtomicWrites:
     def _crashing_dump(self, monkeypatch, after_bytes=64):
