@@ -49,6 +49,7 @@ def bfs(
     hybrid: bool = True,
     resume: bool = False,
     elastic=None,
+    certify: bool = False,
 ) -> AlgorithmResult:
     """BFS from ``root`` (original vertex id).
 
@@ -61,13 +62,24 @@ def bfs(
     additionally survives permanent rank loss by regridding onto the
     surviving GPUs (an :class:`~repro.faults.elastic.ElasticRecovery`,
     a grid-policy spec string, or ``True`` for the default policy).
+    ``certify=True`` runs the distributed result certifier
+    (:func:`~repro.faults.integrity.certify_bfs`) on the final answer,
+    charging its modeled cost to the ``certify`` clock lane and
+    raising :class:`~repro.faults.integrity.IntegrityFailure` if the
+    parent tree violates BFS invariants.
     """
     if elastic:
         from ..faults.elastic import drive_elastic
 
         return drive_elastic(
             lambda e, r: bfs(
-                e, root, alpha=alpha, beta=beta, hybrid=hybrid, resume=r
+                e,
+                root,
+                alpha=alpha,
+                beta=beta,
+                hybrid=hybrid,
+                resume=r,
+                certify=certify,
             ),
             engine,
             elastic,
@@ -281,16 +293,23 @@ def bfs(
     parents = np.full(n, -1, dtype=np.int64)
     parents[reached] = parent_state[reached].astype(np.int64)
     out_levels = np.where(np.isfinite(levels), levels, -1).astype(np.int64)
+    extra = {
+        "levels": out_levels,
+        "n_visited": int(n_visited),
+        "directions": direction_log,
+    }
+    if certify:
+        from ..faults.integrity import certify_bfs
+
+        extra["certification"] = certify_bfs(
+            engine, parents, out_levels, root
+        ).as_dict()
     return AlgorithmResult(
         values=parents,
         timings=engine.timing_report(),
         iterations=depth,
         counters=engine.counters.summary(),
-        extra={
-            "levels": out_levels,
-            "n_visited": int(n_visited),
-            "directions": direction_log,
-        },
+        extra=extra,
     )
 
 

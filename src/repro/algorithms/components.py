@@ -114,6 +114,7 @@ def connected_components(
     switch_threshold_factor: float = 1.0,
     resume: bool = False,
     elastic=None,
+    certify: bool = False,
 ) -> AlgorithmResult:
     """Run color-propagation CC to convergence.
 
@@ -139,7 +140,10 @@ def connected_components(
     Returns component labels (original GIDs of the winning
     representatives) in original vertex order.  ``elastic=`` survives
     permanent rank loss by regridding onto the surviving GPUs (see
-    ``docs/ROBUSTNESS.md``).
+    ``docs/ROBUSTNESS.md``).  ``certify=True`` runs
+    :func:`~repro.faults.integrity.certify_cc` (label agreement across
+    every edge) on the final labels, charging the ``certify`` clock
+    lane.
     """
     if direction not in ("push", "pull"):
         raise ValueError(f"direction must be 'push' or 'pull', got {direction!r}")
@@ -155,6 +159,7 @@ def connected_components(
                 max_iterations=max_iterations,
                 switch_threshold_factor=switch_threshold_factor,
                 resume=r,
+                certify=certify,
             ),
             engine,
             elastic,
@@ -262,10 +267,15 @@ def connected_components(
         )
 
     values = engine.gather(_STATE).astype(np.int64)
+    extra = {"n_components": int(np.unique(values).size)}
+    if certify:
+        from ..faults.integrity import certify_cc
+
+        extra["certification"] = certify_cc(engine, values).as_dict()
     return AlgorithmResult(
         values=values,
         timings=engine.timing_report(),
         iterations=iteration,
         counters=engine.counters.summary(),
-        extra={"n_components": int(np.unique(values).size)},
+        extra=extra,
     )

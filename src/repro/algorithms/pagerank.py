@@ -77,6 +77,7 @@ def pagerank(
     tol: Optional[float] = None,
     resume: bool = False,
     elastic=None,
+    certify: bool = False,
 ) -> AlgorithmResult:
     """Run synchronous PageRank (paper default: 20 fixed iterations).
 
@@ -106,6 +107,10 @@ def pagerank(
     values after a shrink-regrid agree with the fault-free run to
     within ~1 ulp rather than bit-exactly (spare-pool recoveries, which
     keep the grid, stay bit-exact); see ``docs/ROBUSTNESS.md``.
+    ``certify=True`` runs
+    :func:`~repro.faults.integrity.certify_pagerank` (mass
+    conservation + residual bound) on the final vector, charging the
+    ``certify`` clock lane.
     """
     if elastic:
         from ..faults.elastic import drive_elastic
@@ -119,6 +124,7 @@ def pagerank(
                 weighted=weighted,
                 tol=tol,
                 resume=r,
+                certify=certify,
             ),
             engine,
             elastic,
@@ -246,10 +252,23 @@ def pagerank(
         )
 
     values = engine.gather("pr")
+    extra = {"damping": damping}
+    if certify:
+        from ..faults.integrity import certify_pagerank
+
+        # The residual bound models the uniform-spread update; weighted
+        # runs certify mass conservation and non-negativity only.
+        extra["certification"] = certify_pagerank(
+            engine,
+            values,
+            damping=damping,
+            personalization=personalization,
+            resid_tol=None if weighted else 1e-2,
+        ).as_dict()
     return AlgorithmResult(
         values=values,
         timings=engine.timing_report(),
         iterations=iterations_run,
         counters=engine.counters.summary(),
-        extra={"damping": damping},
+        extra=extra,
     )

@@ -30,6 +30,7 @@ def sssp(
     max_iterations: int | None = None,
     resume: bool = False,
     elastic=None,
+    certify: bool = False,
 ) -> AlgorithmResult:
     """Shortest path distance from ``root`` to every vertex.
 
@@ -38,13 +39,22 @@ def sssp(
     serial Bellman-Ford / Dijkstra result.  ``resume=True`` continues
     from the engine's latest attached checkpoint; ``elastic=`` also
     survives permanent rank loss by regridding (see
-    ``docs/ROBUSTNESS.md``).
+    ``docs/ROBUSTNESS.md``).  ``certify=True`` runs
+    :func:`~repro.faults.integrity.certify_sssp` (relaxation slack
+    >= 0 on every edge) on the final distances, charging the
+    ``certify`` clock lane.
     """
     if elastic:
         from ..faults.elastic import drive_elastic
 
         return drive_elastic(
-            lambda e, r: sssp(e, root, max_iterations=max_iterations, resume=r),
+            lambda e, r: sssp(
+                e,
+                root,
+                max_iterations=max_iterations,
+                resume=r,
+                certify=certify,
+            ),
             engine,
             elastic,
             resume=resume,
@@ -110,10 +120,15 @@ def sssp(
 
     values = engine.gather("dist")
     reached = np.isfinite(values)
+    extra = {"n_reached": int(np.count_nonzero(reached))}
+    if certify:
+        from ..faults.integrity import certify_sssp
+
+        extra["certification"] = certify_sssp(engine, values, root).as_dict()
     return AlgorithmResult(
         values=values,
         timings=engine.timing_report(),
         iterations=iterations,
         counters=engine.counters.summary(),
-        extra={"n_reached": int(np.count_nonzero(reached))},
+        extra=extra,
     )

@@ -221,25 +221,41 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         DEFAULT_AUTOSCALE_SCENARIOS,
         DEFAULT_ELASTIC_SCENARIOS,
         DEFAULT_SCENARIOS,
+        DEFAULT_SDC_SCENARIOS,
         ELASTIC_RUNNERS,
         ELASTIC_SCENARIOS,
         RUNNERS,
         SCENARIOS,
+        SDC_RUNNERS,
+        SDC_SCENARIOS,
+        WEIGHTED_ALGOS,
         run_autoscale_campaign,
         run_campaign,
         run_elastic_campaign,
+        run_sdc_campaign,
     )
 
-    if args.elastic and args.autoscale:
-        print("--elastic and --autoscale are separate campaigns; pick one")
-        return 2
-    runners = ELASTIC_RUNNERS if (args.elastic or args.autoscale) else RUNNERS
-    algos = [a.strip().upper() for a in args.algos.split(",")]
+    # --elastic / --autoscale / --sdc conflicts are rejected by the
+    # parser's mutually-exclusive group (argparse exits 2 with usage).
+    if args.sdc:
+        runners = SDC_RUNNERS
+    elif args.elastic or args.autoscale:
+        runners = ELASTIC_RUNNERS
+    else:
+        runners = RUNNERS
+    algos = (
+        [a.strip().upper() for a in args.algos.split(",")]
+        if args.algos
+        else sorted(runners)
+    )
     for algo in algos:
         if algo not in runners:
             print(f"unknown algorithm {algo!r}; choose from {sorted(runners)}")
             return 2
-    if args.autoscale:
+    if args.sdc:
+        known = SDC_SCENARIOS
+        defaults = DEFAULT_SDC_SCENARIOS
+    elif args.autoscale:
         known = AUTOSCALE_SCENARIOS
         defaults = DEFAULT_AUTOSCALE_SCENARIOS
     elif args.elastic:
@@ -250,9 +266,13 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         defaults = DEFAULT_SCENARIOS
     if args.scenario != "all" and args.scenario not in known:
         mode = (
-            "--autoscale"
-            if args.autoscale
-            else ("--elastic" if args.elastic else "non-elastic")
+            "--sdc"
+            if args.sdc
+            else (
+                "--autoscale"
+                if args.autoscale
+                else ("--elastic" if args.elastic else "non-elastic")
+            )
         )
         print(
             f"scenario {args.scenario!r} is not a {mode} scenario; "
@@ -264,6 +284,8 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     # grid so a 4x3 layout can lose ranks and still factor usefully.
     # Autoscale campaigns default to 4 so the demote-then-grow-back
     # round trip is 2x2 -> 1x3 -> 2x2 (back to the original grid).
+    # SDC campaigns also default to 4: the integrity ledger needs
+    # replicated windows on both grid axes (R >= 2 and C >= 2).
     if args.ranks is not None:
         ranks = args.ranks
     elif args.elastic:
@@ -280,6 +302,65 @@ def _cmd_faults(args: argparse.Namespace) -> int:
             cluster=_CLUSTERS[args.cluster],
             executor=args.executor,
         )
+
+    if args.sdc:
+        weighted_engine = None
+        if any(a in WEIGHTED_ALGOS for a in algos):
+            dsw = load(
+                args.dataset,
+                target_edges=args.target_edges,
+                seed=args.seed,
+                weighted=True,
+            )
+
+            def weighted_engine():
+                return make_engine(
+                    dsw,
+                    ranks,
+                    cluster=_CLUSTERS[args.cluster],
+                    executor=args.executor,
+                )
+
+        report = run_sdc_campaign(
+            fresh_engine,
+            algos=algos,
+            scenarios=scenarios,
+            max_retries=args.max_retries,
+            make_weighted_engine=weighted_engine,
+        )
+        header = (
+            f"{'scenario':>18} {'algo':>5} {'status':>10} {'detected':>9} "
+            f"{'values':>7} {'clocks':>7} {'repairs':>8} {'certify[s]':>11}"
+        )
+        print(header)
+        print("-" * len(header))
+        for c in report["cases"]:
+            print(
+                f"{c['scenario']:>18} {c['algo']:>5} {c['status']:>10} "
+                f"{str(c['detected']):>9} {str(c['values_equal']):>7} "
+                f"{str(c['clocks_equal']):>7} {c['repairs']:>8} "
+                f"{c['certify_s']:>11.3e}"
+            )
+        print()
+        print(
+            f"{report['total']} cases: "
+            f"{report['total'] - report['failed']} ok, "
+            f"{report['failed']} failed "
+            f"({report['undetected']} undetected, "
+            f"{report['unrepaired']} unrepaired), "
+            f"{report['repairs']} repairs"
+        )
+        if report["skipped"]:
+            skipped = ", ".join(
+                f"{s['algo']}@{s['scenario']}" for s in report["skipped"]
+            )
+            print(f"skipped (no weighted graph): {skipped}")
+        if args.out:
+            out = pathlib.Path(args.out)
+            out.parent.mkdir(parents=True, exist_ok=True)
+            out.write_text(json.dumps(report, indent=2))
+            print(f"wrote {out}")
+        return 1 if report["failed"] else 0
 
     if args.autoscale:
         report = run_autoscale_campaign(
@@ -517,33 +598,50 @@ def build_parser() -> argparse.ArgumentParser:
     from .faults.scenarios import ELASTIC_SCENARIOS as _ELASTIC_SCENARIOS
     from .faults.scenarios import RUNNERS as _FAULT_RUNNERS
     from .faults.scenarios import SCENARIOS as _FAULT_SCENARIOS
+    from .faults.scenarios import SDC_RUNNERS as _SDC_RUNNERS
+    from .faults.scenarios import SDC_SCENARIOS as _SDC_SCENARIOS
 
-    faults.add_argument(
+    # The campaigns are alternatives: exactly one (or none, for the
+    # plain crash/retry campaign) may be selected.  argparse enforces
+    # the conflict and exits 2 with a usage message.
+    campaign = faults.add_mutually_exclusive_group()
+    campaign.add_argument(
         "--elastic", action="store_true",
         help="run the elastic (permanent-rank-loss) campaign: crashes "
              "regrid onto the surviving GPUs instead of resuming in place",
     )
-    faults.add_argument(
+    campaign.add_argument(
         "--autoscale", action="store_true",
         help="run the autoscale campaign: the health watchdog demotes "
              "chronic stragglers and the grid grows back onto arriving "
              "spare ranks",
+    )
+    campaign.add_argument(
+        "--sdc", action="store_true",
+        help="run the silent-data-corruption campaign: memory bit-flips "
+             "in per-rank state arrays, detected by the integrity "
+             "ledger and repaired by checkpoint rollback (graded "
+             "bit-identical to fault-free runs)",
     )
     faults.add_argument(
         "--scenario", default="all",
         choices=["all"]
         + sorted(_FAULT_SCENARIOS)
         + sorted(_ELASTIC_SCENARIOS)
-        + sorted(_AUTOSCALE_SCENARIOS),
+        + sorted(_AUTOSCALE_SCENARIOS)
+        + sorted(_SDC_SCENARIOS),
         help="one scenario, or 'all' for the default campaign "
              "(excludes the deliberately-failing crash-unrecovered); "
-             "with --elastic/--autoscale, one of that campaign's "
+             "with --elastic/--autoscale/--sdc, one of that campaign's "
              "scenarios",
     )
     faults.add_argument(
-        "--algos", default=",".join(sorted(_FAULT_RUNNERS)),
-        help="comma-separated algorithms (resume-capable: "
-             + ", ".join(sorted(_FAULT_RUNNERS)) + ")",
+        "--algos", default=None,
+        help="comma-separated algorithms (default: every algorithm the "
+             "selected campaign supports; resume-capable: "
+             + ", ".join(sorted(_FAULT_RUNNERS))
+             + "; --sdc adds " + ", ".join(
+                 sorted(set(_SDC_RUNNERS) - set(_FAULT_RUNNERS))) + ")",
     )
     faults.add_argument("--dataset", default="FR")
     faults.add_argument(

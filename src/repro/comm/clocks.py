@@ -99,6 +99,12 @@ class VirtualClocks:
         # comm + idle`, and `exposed comm = comm - overlap`).  Blocking
         # runs keep it at exactly zero.
         self.overlap = np.zeros(n_ranks)
+        # Certify lane: integrity-verification cost (ledger digest
+        # exchanges at superstep boundaries, end-of-run result
+        # certifiers).  Like recovery/regrid it annotates time already
+        # contained in the total; runs without an attached ledger or
+        # certification keep it at exactly zero.
+        self.certify = np.zeros(n_ranks)
         self.iteration_marks: list[PhaseTimes] = []
         self.counter_marks: list["CounterSnapshot"] = []
 
@@ -176,6 +182,24 @@ class VirtualClocks:
         self.comm[idx] += seconds
         self.regrid[idx] += seconds
 
+    def charge_certify(self, ranks: Sequence[int], seconds: float) -> None:
+        """Charge integrity-verification time (ledger digest exchange,
+        result certification) to a group.
+
+        Semantically a small collective: the group synchronizes, burns
+        ``seconds`` together, and the cost counts as communication time
+        (digests and certification invariants cross the fabric) *and*
+        is mirrored into the ``certify`` lane so timing reports can
+        show what the SDC defense cost.
+        """
+        if seconds < 0:
+            raise ValueError(f"negative certify time {seconds}")
+        idx = np.fromiter(ranks, dtype=np.int64)
+        t = float(self.clock[idx].max()) + seconds
+        self.clock[idx] = t
+        self.comm[idx] += seconds
+        self.certify[idx] += seconds
+
     def issue_collective(
         self, ranks: Sequence[int], comm_seconds: float
     ) -> InflightCollective:
@@ -231,6 +255,7 @@ class VirtualClocks:
         self.recovery[:] = 0.0
         self.regrid[:] = 0.0
         self.overlap[:] = 0.0
+        self.certify[:] = 0.0
         self.iteration_marks.clear()
         self.counter_marks.clear()
 
@@ -289,6 +314,7 @@ class VirtualClocks:
             "recovery": self.recovery.copy(),
             "regrid": self.regrid.copy(),
             "overlap": self.overlap.copy(),
+            "certify": self.certify.copy(),
         }
 
     @property
@@ -312,6 +338,12 @@ class VirtualClocks:
         runs)."""
         return float(self.overlap.max())
 
+    @property
+    def certify_total(self) -> float:
+        """Max-over-ranks integrity-verification time (0.0 in runs
+        without a ledger or certification)."""
+        return float(self.certify.max())
+
     # ------------------------------------------------------------------
     # checkpoint support
     # ------------------------------------------------------------------
@@ -329,6 +361,7 @@ class VirtualClocks:
             "recovery": self.recovery.copy(),
             "regrid": self.regrid.copy(),
             "overlap": self.overlap.copy(),
+            "certify": self.certify.copy(),
             "iteration_marks": [
                 (m.total, m.compute, m.comm, m.overlap)
                 for m in self.iteration_marks
@@ -345,10 +378,12 @@ class VirtualClocks:
         self.compute[:] = state["compute"]
         self.comm[:] = state["comm"]
         self.recovery[:] = state["recovery"]
-        # Older snapshots predate the regrid and overlap lanes (and
-        # their marks carry 3-tuples, which PhaseTimes defaults absorb).
+        # Older snapshots predate the regrid, overlap, and certify
+        # lanes (and their marks carry 3-tuples, which PhaseTimes
+        # defaults absorb).
         self.regrid[:] = state.get("regrid", 0.0)
         self.overlap[:] = state.get("overlap", 0.0)
+        self.certify[:] = state.get("certify", 0.0)
         self.iteration_marks[:] = [
             PhaseTimes(*t) for t in state["iteration_marks"]
         ]
@@ -368,7 +403,8 @@ class VirtualClocks:
         and counter snapshots are rank-agnostic and pass through.
         """
         out = dict(state)
-        for lane in ("clock", "compute", "comm", "recovery", "regrid", "overlap"):
+        for lane in ("clock", "compute", "comm", "recovery", "regrid",
+                     "overlap", "certify"):
             arr = np.asarray(state.get(lane, [0.0]), dtype=np.float64)
             peak = float(arr.max()) if arr.size else 0.0
             out[lane] = np.full(n_ranks, peak)

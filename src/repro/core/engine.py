@@ -184,6 +184,10 @@ class Engine:
         # arrivals) into demote/grow decisions.
         self._health = None
         self._autoscaler = None
+        # State-integrity ledger (see repro.faults.integrity): verifies
+        # replicated-window digests at superstep boundaries, before the
+        # boundary's checkpoint is saved.
+        self._integrity = None
         # Spares delivered by consumed ``recover`` specs and not yet
         # adopted by a grow; carried across rebuild_on_grid.
         self.spare_ranks = 0
@@ -495,6 +499,21 @@ class Engine:
     def detach_autoscaler(self) -> None:
         self._autoscaler = None
 
+    def attach_integrity(self, ledger) -> None:
+        """Verify state-array integrity at superstep boundaries;
+        ``ledger`` is a
+        :class:`~repro.faults.integrity.IntegrityLedger`.  The ledger
+        runs *after* planned memflips land and *before* the boundary's
+        checkpoint is saved, so saved checkpoints are verified-good."""
+        self._integrity = ledger
+
+    def detach_integrity(self) -> None:
+        self._integrity = None
+
+    @property
+    def integrity(self):
+        return self._integrity
+
     @property
     def fault_events(self) -> list:
         """Fault events observed by the current (or most recent)
@@ -556,6 +575,8 @@ class Engine:
             new.attach_health(self._health)
         if self._autoscaler is not None:
             new.attach_autoscaler(self._autoscaler)
+        if self._integrity is not None:
+            new.attach_integrity(self._integrity)
         new.spare_ranks = self.spare_ranks
         new._regrid_events = self._regrid_events
         return new
@@ -573,8 +594,13 @@ class Engine:
         decision point.  Algorithms call this exactly once per
         superstep.
 
-        The ordering is deliberate: the checkpoint is saved *before*
-        the autoscaler may raise
+        The ordering is deliberate: planned memflips land first
+        (corruption strikes between the compute that produced the
+        state and the hash that should catch it), then the attached
+        :class:`~repro.faults.integrity.IntegrityLedger` verifies —
+        *before* the checkpoint is saved, so corrupt state is never
+        checkpointed — and the checkpoint is saved *before* the
+        autoscaler may raise
         :class:`~repro.faults.injector.RankDemotion` /
         :class:`~repro.faults.injector.SpareArrival`, so a demotion or
         grow drains from the checkpoint of *this* boundary and the
@@ -582,6 +608,35 @@ class Engine:
         """
         delta = self.clocks.mark_iteration()
         superstep = len(self.clocks.iteration_marks)
+        if self._injector is not None:
+            flips = self._injector.memflips_for(superstep)
+            if flips:
+                from ..faults.integrity import apply_memflip
+                from ..faults.plan import FaultEvent
+
+                for spec in flips:
+                    # A rank lost to an earlier regrid cannot corrupt
+                    # the survivors' state; the spec is still consumed.
+                    if spec.rank is not None and spec.rank < self.n_ranks:
+                        apply_memflip(self.contexts[spec.rank], spec)
+                    self._injector.record(
+                        FaultEvent(
+                            kind="memflip",
+                            rank=spec.rank,
+                            superstep=superstep,
+                            collective="boundary",
+                            detected=False,
+                        )
+                    )
+        if self._integrity is not None:
+            checkpoint_due = (
+                self._checkpoints is not None
+                and state is not None
+                and superstep % self._checkpoints.interval == 0
+            )
+            self._integrity.on_boundary(
+                self, superstep, checkpoint_due=checkpoint_due
+            )
         if self._checkpoints is not None and state is not None:
             self._checkpoints.maybe_save(self, superstep, algo, state)
         if self._injector is not None:
@@ -636,6 +691,10 @@ class Engine:
         self.clocks.load_state(ckpt.clocks)
         if self._injector is not None:
             self._injector.begin_superstep(ckpt.superstep + 1)
+        if self._integrity is not None:
+            # Drop ledger rows from the abandoned attempt; the restored
+            # clocks already erased its transient certify charges.
+            self._integrity.rewind(ckpt.superstep)
         if self._health is not None:
             # Clocks just rewound; re-baseline so the next observation
             # diffs against the restored values, not the pre-crash ones.
@@ -687,6 +746,8 @@ class Engine:
             self._injector.reset()
         if self._checkpoints is not None:
             self._checkpoints.clear()
+        if self._integrity is not None:
+            self._integrity.reset()
         if self._health is not None:
             self._health.bind(self)
 
@@ -707,6 +768,7 @@ class Engine:
             recovery=self.clocks.recovery_total,
             regrid=self.clocks.regrid_total,
             overlap=self.clocks.overlap_total,
+            certify=self.clocks.certify_total,
         )
 
     def memory_report(self) -> dict[int, float]:

@@ -38,6 +38,11 @@ class TimingReport:
     #: ``comm`` but NOT in ``total`` (``total`` only pays the exposed
     #: remainder, ``comm - overlap``).
     overlap: float = 0.0
+    #: Integrity-verification overhead (ledger digest exchanges at
+    #: superstep boundaries, end-of-run result certifiers); exactly
+    #: 0.0 in runs without an attached ledger or ``certify=``.  Like
+    #: recovery/regrid, already contained in ``total``.
+    certify: float = 0.0
 
     @property
     def comm_fraction(self) -> float:
@@ -62,6 +67,11 @@ class TimingReport:
     def regrid_fraction(self) -> float:
         """Share of total time spent migrating to a surviving grid."""
         return self.regrid / self.total if self.total > 0 else 0.0
+
+    @property
+    def certify_fraction(self) -> float:
+        """Share of total time spent verifying state integrity."""
+        return self.certify / self.total if self.total > 0 else 0.0
 
     def teps(self, n_edges: int) -> float:
         """Traversed edges per second for an ``n_edges`` input."""

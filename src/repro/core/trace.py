@@ -58,9 +58,12 @@ class IterationTrace:
     #: empty in fault-free runs.  Beyond injector events this includes
     #: the robustness-layer kinds: ``health`` (watchdog transitions),
     #: ``demote`` / ``grow`` / ``hold`` (autoscaler decisions),
-    #: ``regrid`` (elastic migrations), and ``checkpoint-skip``
-    #: (corrupt on-disk checkpoints passed over during recovery).
-    #: See ``repro.faults`` and ``repro.faults.health``.
+    #: ``regrid`` (elastic migrations), ``checkpoint-skip``
+    #: (corrupt on-disk checkpoints passed over during recovery),
+    #: ``memflip`` (injected silent in-memory bit flips), and
+    #: ``integrity`` (ledger/certifier detections of such corruption).
+    #: See ``repro.faults``, ``repro.faults.health``, and
+    #: ``repro.faults.integrity``.
     faults: tuple = ()
 
     def as_dict(self) -> dict[str, Any]:

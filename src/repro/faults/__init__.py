@@ -21,8 +21,13 @@ The robustness layer of the simulator (see ``docs/ROBUSTNESS.md``):
   (:class:`DemotionPolicy`), and the grow-back autoscaler
   (:class:`AutoscalePolicy` / :class:`AutoscaleRecovery`) that close
   the elastic loop in both directions;
+* :mod:`repro.faults.integrity` — silent-data-corruption defense:
+  the replicated-window :class:`IntegrityLedger`, per-algorithm
+  result certifiers, and checkpoint-rollback repair of detected
+  corruption (``memflip`` faults);
 * :mod:`repro.faults.scenarios` — the named scenario campaigns behind
-  ``python -m repro faults`` (``--elastic``, ``--autoscale``).
+  ``python -m repro faults`` (``--elastic``, ``--autoscale``,
+  ``--sdc``).
 """
 
 from .checkpoint import (
@@ -52,10 +57,26 @@ from .health import (
     HealthMonitor,
 )
 from .injector import FaultInjector, RankDemotion, RankFailure, SpareArrival
+from .integrity import (
+    CertificationReport,
+    IntegrityFailure,
+    IntegrityLedger,
+    IntegrityViolation,
+    apply_memflip,
+    certify_bfs,
+    certify_cc,
+    certify_pagerank,
+    certify_sssp,
+)
 from .plan import FAULT_KINDS, FaultEvent, FaultPlan, FaultSpec
 from .resilient import ResilientCommunicator
 from .scenarios import (
     AUTOSCALE_SCENARIOS,
+    SDC_RUNNERS,
+    SDC_SCENARIOS,
+    SdcCaseResult,
+    run_sdc_campaign,
+    run_sdc_case,
     ELASTIC_RUNNERS,
     ELASTIC_SCENARIOS,
     RUNNERS,
@@ -115,4 +136,18 @@ __all__ = [
     "run_elastic_case",
     "run_autoscale_campaign",
     "run_autoscale_case",
+    "IntegrityLedger",
+    "IntegrityViolation",
+    "IntegrityFailure",
+    "CertificationReport",
+    "apply_memflip",
+    "certify_bfs",
+    "certify_sssp",
+    "certify_cc",
+    "certify_pagerank",
+    "SDC_SCENARIOS",
+    "SDC_RUNNERS",
+    "SdcCaseResult",
+    "run_sdc_campaign",
+    "run_sdc_case",
 ]

@@ -135,6 +135,10 @@ class FaultInjector:
         self._pending_recovers: list[FaultSpec] = list(
             s for s in plan if s.kind == "recover"
         )
+        # memory bit-flips are consumed at superstep boundaries too
+        self._pending_memflips: list[FaultSpec] = list(
+            s for s in plan if s.kind == "memflip"
+        )
 
     # ------------------------------------------------------------------
     # run-position tracking
@@ -159,6 +163,9 @@ class FaultInjector:
         ]
         self._pending_recovers = [
             s for s in self.plan if s.kind == "recover"
+        ]
+        self._pending_memflips = [
+            s for s in self.plan if s.kind == "memflip"
         ]
 
     # ------------------------------------------------------------------
@@ -212,6 +219,21 @@ class FaultInjector:
             self._pending_recovers.remove(s)
         return fired
 
+    def memflips_for(self, superstep: int) -> list[FaultSpec]:
+        """Return-and-consume memory bit-flip (``memflip``) specs due by
+        ``superstep``.
+
+        Called by ``Engine.superstep_boundary`` before integrity
+        verification, so the damage lands between the compute that
+        produced the state and the ledger hash that should catch it.
+        One-shot consumption is what keeps repair deterministic: a
+        restore-and-recompute of the suspect window does not re-flip.
+        """
+        fired = [s for s in self._pending_memflips if s.superstep <= superstep]
+        for s in fired:
+            self._pending_memflips.remove(s)
+        return fired
+
     def next_disruption(self, kind: str, ranks: Sequence[int]) -> Optional[FaultSpec]:
         """Consume one failure attempt for this collective, if planned.
 
@@ -245,5 +267,6 @@ class FaultInjector:
             not self._pending_crashes
             and not self._pending_stragglers
             and not self._pending_recovers
+            and not self._pending_memflips
             and not any(self._attempts.values())
         )

@@ -40,6 +40,13 @@ Fault kinds
     the attached autoscaler — an
     :class:`~repro.faults.health.AutoscalePolicy` decides whether the
     run grows back onto ``p+1`` ranks or holds.
+``memflip``
+    Silent data corruption in *device memory*: ``count`` bits flip in
+    the target rank's registered state arrays at the superstep
+    boundary — compute-side damage the communication checksum never
+    sees.  Consumed by ``Engine.superstep_boundary`` before integrity
+    verification; detection and repair belong to the attached
+    :class:`~repro.faults.integrity.IntegrityLedger`.
 """
 
 from __future__ import annotations
@@ -52,7 +59,18 @@ import numpy as np
 __all__ = ["FAULT_KINDS", "FaultSpec", "FaultPlan", "FaultEvent"]
 
 #: Recognized fault kinds, in documentation order.
-FAULT_KINDS = ("crash", "transient", "corruption", "straggler", "recover")
+FAULT_KINDS = (
+    "crash", "transient", "corruption", "straggler", "recover", "memflip",
+)
+
+#: Kinds whose specs must name an explicit target rank.
+_RANKED_KINDS = ("crash", "straggler", "memflip")
+
+
+def _doc_order(kinds) -> str:
+    """Render a subset of kinds in :data:`FAULT_KINDS` documentation
+    order (validation messages quote choices in this order)."""
+    return ", ".join(k for k in FAULT_KINDS if k in kinds)
 
 
 @dataclass(frozen=True)
@@ -67,20 +85,23 @@ class FaultSpec:
         1-based BSP superstep (iteration) during which the fault fires.
     rank:
         Target rank; ``None`` matches any rank (the first collective of
-        the superstep triggers it).  Crashes and stragglers require an
-        explicit rank.
+        the superstep triggers it).  Crashes, stragglers, and memflips
+        require an explicit rank.
     collective:
         Restrict to one collective kind (``"allreduce"``,
-        ``"allgatherv"``, ...); ``None`` matches any.
+        ``"allgatherv"``, ...); ``None`` matches any.  Boundary faults
+        (``recover``, ``memflip``) never match a collective.
     count:
         Failed attempts for ``transient``/``corruption`` (each retried
         with backoff; exceeding the communicator's retry budget turns
-        the fault fatal).
+        the fault fatal), or bits flipped for ``memflip``.
     delay_s:
         Stall duration for ``straggler`` faults, in virtual seconds.
     bit:
         Bit index flipped by ``corruption`` faults (position within the
-        payload's byte stream; wrapped to the payload size).
+        payload's byte stream) and starting bit for ``memflip`` faults
+        (position within the rank's state-array byte stream); wrapped
+        to the target size in both cases.
     """
 
     kind: str
@@ -92,33 +113,47 @@ class FaultSpec:
     bit: int = 0
 
     def __post_init__(self) -> None:
+        # Every message names the offending field first; messages that
+        # hinge on the fault kind quote the relevant choices in
+        # FAULT_KINDS documentation order.
         if self.kind not in FAULT_KINDS:
             raise ValueError(
-                f"unknown fault kind {self.kind!r}; choose from {FAULT_KINDS}"
+                f"kind: unknown fault kind {self.kind!r}; choose from "
+                f"{_doc_order(FAULT_KINDS)}"
             )
         if self.superstep < 1:
-            raise ValueError(f"superstep must be >= 1, got {self.superstep}")
+            raise ValueError(
+                f"superstep: must be >= 1, got {self.superstep}"
+            )
         if self.count < 1:
-            raise ValueError(f"count must be >= 1, got {self.count}")
+            raise ValueError(f"count: must be >= 1, got {self.count}")
+        if self.bit < 0:
+            raise ValueError(f"bit: must be >= 0, got {self.bit}")
         if self.kind == "straggler" and self.delay_s <= 0:
-            raise ValueError("straggler faults need delay_s > 0")
-        if self.kind in ("crash", "straggler") and self.rank is None:
-            raise ValueError(f"{self.kind} faults need an explicit rank")
-        if self.kind == "recover":
+            raise ValueError(
+                f"delay_s: straggler faults need delay_s > 0, "
+                f"got {self.delay_s}"
+            )
+        if self.kind in _RANKED_KINDS and self.rank is None:
+            raise ValueError(
+                f"rank: {self.kind} faults need an explicit rank "
+                f"(as do all of: {_doc_order(_RANKED_KINDS)})"
+            )
+        if self.kind == "recover" and self.rank is not None:
             # Spares are anonymous until adopted: the grown grid assigns
             # rank numbers, so a targeted recover spec is meaningless.
-            if self.rank is not None:
-                raise ValueError(
-                    "recover specs model anonymous spare arrivals; "
-                    "rank must be None"
-                )
-            if self.collective is not None:
-                raise ValueError(
-                    "recover specs fire at the superstep boundary, not "
-                    "inside a collective; collective must be None"
-                )
+            raise ValueError(
+                "rank: recover specs model anonymous spare arrivals; "
+                "rank must be None"
+            )
+        if self.kind in ("recover", "memflip") and self.collective is not None:
+            raise ValueError(
+                f"collective: {self.kind} specs fire at the superstep "
+                f"boundary, not inside a collective; collective must be "
+                f"None (boundary kinds: {_doc_order(('recover', 'memflip'))})"
+            )
         if self.rank is not None and self.rank < 0:
-            raise ValueError(f"rank must be >= 0, got {self.rank}")
+            raise ValueError(f"rank: must be >= 0, got {self.rank}")
 
 
 @dataclass(frozen=True)
@@ -185,11 +220,13 @@ class FaultPlan:
         straggler_rate: float = 0.1,
         straggler_delay_s: float = 1e-3,
         max_crashes: int = 1,
+        memflip_rate: float = 0.0,
     ) -> "FaultPlan":
         """Draw a plan from a seeded generator (same seed, same plan).
 
         Rates are per-superstep Bernoulli probabilities; each drawn
-        fault picks a uniform random rank (and bit, for corruption).
+        fault picks a uniform random rank (and bit, for corruption and
+        memflip).
         Crashes are capped at ``max_crashes`` — each one ends a run, so
         more than a couple makes a scenario unfinishable even with
         checkpoints at every boundary.
@@ -205,6 +242,7 @@ class FaultPlan:
             "transient_rate": transient_rate,
             "corruption_rate": corruption_rate,
             "straggler_rate": straggler_rate,
+            "memflip_rate": memflip_rate,
         }
         for name, rate in rates.items():
             if not 0.0 <= rate <= 1.0:
@@ -252,6 +290,15 @@ class FaultPlan:
                         delay_s=float(straggler_delay_s * (1 + rng.random())),
                     )
                 )
+            if rng.random() < memflip_rate:
+                specs.append(
+                    FaultSpec(
+                        "memflip",
+                        step,
+                        rank=int(rng.integers(n_ranks)),
+                        bit=int(rng.integers(0, 4096)),
+                    )
+                )
         return cls(specs=specs, seed=seed)
 
     def for_superstep(self, superstep: int) -> list[FaultSpec]:
@@ -272,6 +319,7 @@ class FaultPlan:
                 "corruption": f"bit {s.bit} flip",
                 "straggler": f"stall {s.delay_s * 1e3:.3f} ms",
                 "recover": f"{s.count} spare rank(s) arrive",
+                "memflip": f"{s.count} state bit(s) flip from bit {s.bit}",
             }[s.kind]
             coll = f" on {s.collective}" if s.collective else ""
             lines.append(f"superstep {s.superstep}: {what} at {where}{coll}")

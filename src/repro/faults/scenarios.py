@@ -37,7 +37,7 @@ from typing import Any, Callable, Optional, Sequence
 
 import numpy as np
 
-from ..algorithms import bfs, connected_components, pagerank
+from ..algorithms import bfs, connected_components, pagerank, sssp
 from .checkpoint import CheckpointManager
 from .elastic import ElasticRecovery, ElasticUnrecoverable
 from .health import AutoscalePolicy, AutoscaleRecovery, DemotionPolicy, HealthMonitor
@@ -61,6 +61,13 @@ __all__ = [
     "AutoscaleCaseResult",
     "run_autoscale_case",
     "run_autoscale_campaign",
+    "SDC_SCENARIOS",
+    "DEFAULT_SDC_SCENARIOS",
+    "SDC_RUNNERS",
+    "WEIGHTED_ALGOS",
+    "SdcCaseResult",
+    "run_sdc_case",
+    "run_sdc_campaign",
 ]
 
 #: Named fault plans.  Supersteps are 1-based; ranks assume at least a
@@ -755,4 +762,274 @@ def run_campaign(
         "total": len(cases),
         "failed": sum(1 for c in cases if not c.ok),
         "unrecovered": sum(1 for c in cases if c.status == "unrecovered"),
+    }
+
+
+#: Graded silent-data-corruption scenarios: memory bit-flips landing
+#: in a rank's registered state arrays at superstep boundaries.  All
+#: flips fire at superstep >= 2 with checkpoints at every boundary, so
+#: a verified-good checkpoint always exists to roll back to.  Ranks
+#: assume at least a 2x2 grid (the ledger needs replicated windows on
+#: both axes — see ``repro.faults.integrity``).
+SDC_SCENARIOS: dict[str, dict] = {
+    # One bit in rank 1's state, early in the run.
+    "memflip-single": dict(
+        plan=FaultPlan([FaultSpec("memflip", 2, rank=1, bit=137)]),
+        repair_budget=2,
+    ),
+    # A 3-bit burst late in the run (DRAM row disturbance model).
+    "memflip-burst": dict(
+        plan=FaultPlan([FaultSpec("memflip", 3, rank=2, bit=4099, count=3)]),
+        repair_budget=2,
+    ),
+    # Two independent flips on different ranks at different
+    # supersteps: two detect-restore-recompute round trips.
+    "memflip-double": dict(
+        plan=FaultPlan(
+            [
+                FaultSpec("memflip", 2, rank=1, bit=7),
+                FaultSpec("memflip", 3, rank=2, bit=513),
+            ]
+        ),
+        repair_budget=2,
+    ),
+}
+
+DEFAULT_SDC_SCENARIOS = tuple(SDC_SCENARIOS)
+
+#: Resume- and certify-capable runners for the SDC campaign.  Every
+#: run certifies its final answer (the end-to-end seal on top of the
+#: ledger).  SSSP needs an edge-weighted graph — the campaign skips it
+#: unless a weighted engine factory is supplied.
+SDC_RUNNERS: dict[str, Callable[..., Any]] = {
+    "BFS": lambda engine, resume=False: bfs(
+        engine, root=0, resume=resume, certify=True
+    ),
+    "PR": lambda engine, resume=False: pagerank(
+        engine, iterations=10, resume=resume, certify=True
+    ),
+    "CC": lambda engine, resume=False: connected_components(
+        engine, resume=resume, certify=True
+    ),
+    "SSSP": lambda engine, resume=False: sssp(
+        engine, root=0, resume=resume, certify=True
+    ),
+}
+
+#: Algorithms that need an edge-weighted graph.
+WEIGHTED_ALGOS = ("SSSP",)
+
+
+@dataclass
+class SdcCaseResult:
+    """Outcome of one SDC (scenario, algorithm) pair."""
+
+    scenario: str
+    algo: str
+    status: str  # repaired | completed | diverged | unrepaired
+    detected: bool = False
+    values_equal: Optional[bool] = None
+    counters_equal: Optional[bool] = None
+    clocks_equal: Optional[bool] = None
+    repairs: int = 0
+    certify_s: float = 0.0
+    fault_events: list[dict] = field(default_factory=list)
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        """A healthy SDC case: the corruption was *detected* (no
+        silent divergence) and the *repaired* run is bit-identical to
+        the fault-free reference."""
+        return (
+            self.status == "repaired"
+            and self.detected
+            and self.values_equal is True
+            and self.counters_equal is True
+            and self.clocks_equal is True
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "algo": self.algo,
+            "status": self.status,
+            "ok": self.ok,
+            "detected": self.detected,
+            "values_equal": self.values_equal,
+            "counters_equal": self.counters_equal,
+            "clocks_equal": self.clocks_equal,
+            "repairs": self.repairs,
+            "certify_s": self.certify_s,
+            "n_fault_events": len(self.fault_events),
+            "fault_events": self.fault_events,
+            "error": self.error,
+        }
+
+
+def run_sdc_case(
+    make_engine: Callable[[], Any],
+    algo: str,
+    scenario: str,
+    plan: Optional[FaultPlan] = None,
+    repair_budget: int = 2,
+    max_retries: int = 4,
+) -> SdcCaseResult:
+    """Run one SDC (scenario, algorithm) pair and grade the outcome.
+
+    Both runs attach an every-boundary :class:`IntegrityLedger` and
+    checkpoint manager (identical configuration, so digest-exchange
+    and checkpoint-drain charges cancel out of the clock comparison)
+    and certify their final answer.  The faulted run additionally
+    carries the scenario's memflip plan; each detected violation rolls
+    back to the last verified checkpoint and recomputes.  The grade
+    requires *detection* (at least one ``integrity`` event, and one
+    per corrupted boundary) and *bit-identical repair* (values,
+    counters, and every clock lane equal to the fault-free run).
+    """
+    from .integrity import IntegrityFailure, IntegrityLedger
+
+    if algo not in SDC_RUNNERS:
+        raise ValueError(
+            f"unknown algorithm {algo!r}; choose from {sorted(SDC_RUNNERS)}"
+        )
+    if plan is None:
+        if scenario not in SDC_SCENARIOS:
+            raise ValueError(
+                f"unknown SDC scenario {scenario!r}; choose from "
+                f"{sorted(SDC_SCENARIOS)}"
+            )
+        spec = SDC_SCENARIOS[scenario]
+        plan = spec["plan"]
+        repair_budget = spec.get("repair_budget", repair_budget)
+    runner = SDC_RUNNERS[algo]
+
+    ref_engine = make_engine()
+    ref_engine.attach_integrity(IntegrityLedger(repair_budget=repair_budget))
+    ref_engine.attach_checkpoints(CheckpointManager(interval=1))
+    ref = runner(ref_engine)
+
+    engine = make_engine()
+    ledger = IntegrityLedger(repair_budget=repair_budget)
+    engine.attach_integrity(ledger)
+    engine.attach_checkpoints(CheckpointManager(interval=1))
+    engine.attach_faults(plan, max_retries=max_retries)
+
+    result = None
+    attempts = 0
+    error = ""
+    try:
+        while result is None:
+            try:
+                result = (
+                    runner(engine)
+                    if attempts == 0
+                    else runner(engine, resume=True)
+                )
+            except RankFailure:
+                # IntegrityViolation (or any boundary failure): the
+                # restore path rewinds to the last verified checkpoint
+                # and the loop recomputes the suspect window.  The
+                # repair budget bounds this loop from inside the
+                # ledger; the attempt cap is a backstop.
+                attempts += 1
+                if attempts > repair_budget + 2:
+                    raise
+    except (IntegrityFailure, RankFailure) as exc:
+        return SdcCaseResult(
+            scenario=scenario,
+            algo=algo,
+            status="unrepaired",
+            detected=any(
+                e["kind"] == "integrity" for e in engine.fault_events
+            ),
+            repairs=ledger.repairs,
+            certify_s=float(engine.clocks.certify_total),
+            fault_events=engine.fault_events,
+            error=str(exc),
+        )
+
+    events = engine.fault_events
+    flip_steps = {e["superstep"] for e in events if e["kind"] == "memflip"}
+    caught_steps = {
+        e["superstep"] for e in events if e["kind"] == "integrity"
+    }
+    detected = bool(flip_steps) and flip_steps <= caught_steps
+    values_equal = bool(np.array_equal(ref.values, result.values))
+    counters_equal = (
+        ref_engine.counters.summary() == engine.counters.summary()
+    )
+    lanes = ("clock", "compute", "comm", "recovery", "regrid", "certify")
+    clocks_equal = all(
+        bool(
+            np.array_equal(
+                getattr(ref_engine.clocks, lane), getattr(engine.clocks, lane)
+            )
+        )
+        for lane in lanes
+    )
+    if not values_equal:
+        status = "diverged"
+    elif attempts > 0:
+        status = "repaired"
+    else:
+        status = "completed"
+    return SdcCaseResult(
+        scenario=scenario,
+        algo=algo,
+        status=status,
+        detected=detected,
+        values_equal=values_equal,
+        counters_equal=counters_equal,
+        clocks_equal=clocks_equal,
+        repairs=ledger.repairs,
+        certify_s=float(engine.clocks.certify_total),
+        fault_events=events,
+        error=error,
+    )
+
+
+def run_sdc_campaign(
+    make_engine: Callable[[], Any],
+    algos: Sequence[str] = ("BFS", "CC", "PR", "SSSP"),
+    scenarios: Sequence[str] = DEFAULT_SDC_SCENARIOS,
+    max_retries: int = 4,
+    make_weighted_engine: Optional[Callable[[], Any]] = None,
+) -> dict:
+    """Run the SDC scenario x algorithm grid; return a report dict.
+
+    ``report["failed"]`` counts cases that diverged silently, could
+    not be repaired within budget, or repaired to a non-identical
+    state — ``python -m repro faults --sdc`` turns it into the
+    process exit code.  Weighted algorithms (SSSP) use
+    ``make_weighted_engine`` and are skipped — *loudly*, via the
+    ``skipped`` list — when no weighted factory is given.
+    """
+    cases = []
+    skipped = []
+    for scenario in scenarios:
+        for algo in algos:
+            factory = make_engine
+            if algo in WEIGHTED_ALGOS:
+                if make_weighted_engine is None:
+                    skipped.append({"scenario": scenario, "algo": algo})
+                    continue
+                factory = make_weighted_engine
+            cases.append(
+                run_sdc_case(
+                    factory,
+                    algo,
+                    scenario,
+                    max_retries=max_retries,
+                )
+            )
+    return {
+        "schema": "repro.faults.sdc.v1",
+        "cases": [c.as_dict() for c in cases],
+        "skipped": skipped,
+        "total": len(cases),
+        "failed": sum(1 for c in cases if not c.ok),
+        "undetected": sum(1 for c in cases if not c.detected),
+        "unrepaired": sum(1 for c in cases if c.status == "unrepaired"),
+        "repairs": sum(c.repairs for c in cases),
     }

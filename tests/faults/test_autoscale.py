@@ -156,6 +156,11 @@ class TestAutoscaleCLI:
         capsys.readouterr()
 
     def test_elastic_and_autoscale_flags_conflict(self, capsys):
-        rc = main(["faults", "--elastic", "--autoscale"])
-        assert rc == 2
-        capsys.readouterr()
+        # The campaign flags form an argparse mutually-exclusive
+        # group: conflicts exit 2 with a usage message on stderr.
+        with pytest.raises(SystemExit) as exc:
+            main(["faults", "--elastic", "--autoscale"])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "usage:" in err
+        assert "not allowed with argument" in err

@@ -298,6 +298,55 @@ class TestCorruptionDetection:
         assert ev["sha256_expected"] != ev["sha256_actual"]
         assert ev["sha256_expected"] is not None
 
+    def test_skips_chain_of_bad_checkpoints_to_oldest_good(self, tmp_path):
+        """A *chain* of damage — newest sha256-flipped, middle
+        truncated — is walked newest-first, emitting one structured
+        ``checkpoint-skip`` event per skip, and recovery lands on the
+        oldest healthy snapshot."""
+        engine = small_engine()
+        mgr = CheckpointManager(
+            interval=1, directory=str(tmp_path), keep=3, checkpoint_bw=None
+        )
+        engine.attach_checkpoints(mgr)
+        algorithms.pagerank(engine, iterations=3)
+        files = sorted(os.listdir(tmp_path))
+        assert len(files) == 3
+        oldest, middle, newest = (os.path.join(tmp_path, f) for f in files)
+        # Newest: deep bit flip -> sha256 mismatch.
+        with open(newest, "rb") as fh:
+            data = bytearray(fh.read())
+        data[len(data) // 2] ^= 0xFF
+        with open(newest, "wb") as fh:
+            fh.write(bytes(data))
+        # Middle: truncated pickle -> unreadable envelope.
+        with open(middle, "rb") as fh:
+            data = fh.read()
+        with open(middle, "wb") as fh:
+            fh.write(data[: len(data) // 3])
+        events = []
+        with pytest.warns(UserWarning, match="skipping corrupt checkpoint"):
+            ckpt = CheckpointManager.latest_on_disk(
+                str(tmp_path), events=events
+            )
+        assert ckpt is not None
+        assert ckpt.superstep == 1  # the oldest good snapshot
+        # Exactly one structured event per skipped file, newest first.
+        assert [e["kind"] for e in events] == [
+            "checkpoint-skip", "checkpoint-skip",
+        ]
+        assert [e["superstep"] for e in events] == [3, 2]
+        assert [e["path"] for e in events] == [newest, middle]
+        sha_skip, trunc_skip = events
+        assert sha_skip["sha256_expected"] != sha_skip["sha256_actual"]
+        assert sha_skip["sha256_expected"] is not None
+        # Truncation dies before the digest check: no sha pair, but the
+        # detail says why.
+        assert trunc_skip["sha256_expected"] is None
+        assert "unreadable" in trunc_skip["detail"]
+        for e in events:
+            assert e["collective"] == "checkpoint"
+            assert e["detected"] is True and e["fatal"] is False
+
     def test_corrupt_skip_records_event_on_engine(self, tmp_path):
         """With an engine passed, the skip lands in ``fault_events`` so
         traces show recovery passing over a bad checkpoint."""

@@ -1,0 +1,546 @@
+"""SDC defense: memflip injection, integrity ledger, certifiers, repair.
+
+Covers the three layers of ``repro.faults.integrity`` plus the graded
+campaign behind ``python -m repro faults --sdc``:
+
+* :func:`apply_memflip` mechanics (deterministic, one-shot, windowed);
+* :class:`IntegrityLedger` detection — including a Hypothesis sweep
+  proving every single-bit flip in any replicated window is caught
+  (no false negatives) and clean runs never trip it (no false
+  positives), on both executors;
+* per-algorithm certifiers sealing correct results and naming the
+  violated invariant on corrupted ones;
+* detect -> rollback -> recompute repair that is bit-identical to the
+  fault-free run, with budget/no-checkpoint failure modes;
+* the campaign report schema and the CLI wiring.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Engine, algorithms
+from repro.cli import main
+from repro.exec import SerialExecutor, ThreadedExecutor
+from repro.faults import (
+    SDC_SCENARIOS,
+    CheckpointManager,
+    FaultPlan,
+    FaultSpec,
+    IntegrityFailure,
+    IntegrityLedger,
+    IntegrityViolation,
+    apply_memflip,
+    certify_bfs,
+    certify_cc,
+    certify_pagerank,
+    certify_sssp,
+    run_sdc_campaign,
+    run_sdc_case,
+)
+from repro.graph import rmat
+
+GRAPH = rmat(7, seed=3)
+WGRAPH = rmat(7, seed=3).with_random_weights(seed=1)
+
+MODES = {
+    "serial": SerialExecutor,
+    "threads4": lambda: ThreadedExecutor(max_workers=4),
+}
+
+
+def mk(mode="serial"):
+    return Engine(GRAPH, 4, executor=MODES[mode]())
+
+
+def mkw(mode="serial"):
+    return Engine(WGRAPH, 4, executor=MODES[mode]())
+
+
+def _seed_state(engine, seed=0, dtype=np.float64, width=None):
+    """Register one coherent replicated state array on every rank.
+
+    Builds a global per-vertex vector and scatters it into each rank's
+    local coordinate space via the localmap, exactly as a real
+    exchange leaves it: row-group replicas agree on row windows,
+    col-group replicas on column windows.
+    """
+    rng = np.random.default_rng(seed)
+    n = engine.graph.n_vertices
+    shape = (n,) if width is None else (n, width)
+    if np.issubdtype(np.dtype(dtype), np.floating):
+        base = rng.standard_normal(shape).astype(dtype)
+    else:
+        base = rng.integers(-1000, 1000, shape).astype(dtype)
+    for ctx in engine.contexts:
+        lm = ctx.localmap
+        arr = np.zeros((lm.n_total,) + shape[1:], dtype=dtype)
+        row_lids = np.arange(lm.row_slice.start, lm.row_slice.stop)
+        col_lids = np.arange(lm.col_slice.start, lm.col_slice.stop)
+        arr[lm.row_slice] = base[lm.row_gid(row_lids)]
+        arr[lm.col_slice] = base[lm.col_gid(col_lids)]
+        ctx.arrays.clear()
+        ctx.arrays["x"] = arr
+    return base
+
+
+class TestApplyMemflip:
+    def test_flip_is_deterministic_and_self_inverse(self):
+        engine = mk()
+        _seed_state(engine)
+        ctx = engine.contexts[1]
+        before = ctx.arrays["x"].copy()
+        spec = FaultSpec("memflip", 1, rank=1, bit=137)
+        assert apply_memflip(ctx, spec) == 1
+        assert not np.array_equal(ctx.arrays["x"], before)
+        # XOR is an involution: the same flip restores the state.
+        assert apply_memflip(ctx, spec) == 1
+        assert np.array_equal(ctx.arrays["x"], before)
+
+    def test_flip_lands_only_in_owned_windows(self):
+        engine = mk()
+        _seed_state(engine)
+        ctx = engine.contexts[1]
+        before = ctx.arrays["x"].copy()
+        apply_memflip(ctx, FaultSpec("memflip", 1, rank=1, bit=7))
+        changed = np.flatnonzero(ctx.arrays["x"] != before)
+        assert len(changed) == 1
+        owned = set(range(*ctx.row_slice.indices(len(before)))) | set(
+            range(*ctx.col_slice.indices(len(before)))
+        )
+        assert int(changed[0]) in owned
+
+    def test_burst_flips_count_bits(self):
+        engine = mk()
+        _seed_state(engine)
+        ctx = engine.contexts[2]
+        before = ctx.arrays["x"].copy()
+        flipped = apply_memflip(
+            ctx, FaultSpec("memflip", 1, rank=2, bit=4099, count=3)
+        )
+        assert flipped == 3
+        assert not np.array_equal(ctx.arrays["x"], before)
+
+    def test_bit_index_wraps(self):
+        engine = mk()
+        _seed_state(engine)
+        ctx = engine.contexts[0]
+        total_bits = sum(
+            s.nbytes * 8
+            for s in (
+                ctx.arrays["x"][ctx.row_slice],
+                ctx.arrays["x"][ctx.col_slice],
+            )
+        )
+        a = ctx.arrays["x"].copy()
+        apply_memflip(ctx, FaultSpec("memflip", 1, rank=0, bit=5))
+        flipped_small = ctx.arrays["x"].copy()
+        ctx.arrays["x"][:] = a
+        apply_memflip(
+            ctx, FaultSpec("memflip", 1, rank=0, bit=5 + total_bits)
+        )
+        assert np.array_equal(ctx.arrays["x"], flipped_small)
+
+    def test_no_state_flips_nothing(self):
+        engine = mk()
+        for ctx in engine.contexts:
+            ctx.arrays.clear()
+        assert (
+            apply_memflip(
+                engine.contexts[1], FaultSpec("memflip", 1, rank=1)
+            )
+            == 0
+        )
+
+
+class TestLedgerUnit:
+    def test_bad_interval_and_budget_rejected(self):
+        with pytest.raises(ValueError, match="interval"):
+            IntegrityLedger(interval=0)
+        with pytest.raises(ValueError, match="repair_budget"):
+            IntegrityLedger(repair_budget=-1)
+
+    def test_clean_boundary_appends_ok_row_and_charges(self):
+        engine = mk()
+        _seed_state(engine)
+        ledger = IntegrityLedger()
+        row = ledger.on_boundary(engine, 1)
+        assert row is not None and row.ok and row.suspects == ()
+        assert ledger.last_good == 1
+        assert engine.clocks.certify_total > 0.0
+        # The charge lands in the certify lane, not compute/comm.
+        assert engine.timing_report().certify > 0.0
+
+    def test_interval_skips_off_boundaries(self):
+        engine = mk()
+        _seed_state(engine)
+        ledger = IntegrityLedger(interval=3)
+        assert ledger.on_boundary(engine, 1) is None
+        assert ledger.on_boundary(engine, 2) is None
+        assert ledger.on_boundary(engine, 3) is not None
+        # A due checkpoint forces verification regardless of interval.
+        assert ledger.on_boundary(engine, 4, checkpoint_due=True) is not None
+
+    def test_corruption_without_checkpoint_is_unrepairable(self):
+        engine = mk()
+        _seed_state(engine)
+        apply_memflip(
+            engine.contexts[1], FaultSpec("memflip", 1, rank=1, bit=3)
+        )
+        ledger = IntegrityLedger()
+        with pytest.raises(IntegrityFailure, match="no verified checkpoint"):
+            ledger.on_boundary(engine, 1)
+        assert ledger.repairs == 1
+        ev = engine.fault_events[-1]
+        assert ev["kind"] == "integrity" and ev["detected"] is True
+
+    def test_budget_exhaustion_is_fatal(self):
+        engine = mk()
+        _seed_state(engine)
+        ledger = IntegrityLedger(repair_budget=0)
+        apply_memflip(
+            engine.contexts[1], FaultSpec("memflip", 1, rank=1, bit=3)
+        )
+        with pytest.raises(IntegrityFailure, match="budget exhausted"):
+            ledger.on_boundary(engine, 1)
+        assert engine.fault_events[-1]["fatal"] is True
+
+    def test_violation_carries_suspects_and_window(self):
+        engine = mk()
+        _seed_state(engine)
+        engine.attach_checkpoints(CheckpointManager(interval=1))
+        engine.checkpoints.save(engine, 1, "unit", {})
+        ledger = IntegrityLedger()
+        assert ledger.on_boundary(engine, 1).ok
+        apply_memflip(
+            engine.contexts[1], FaultSpec("memflip", 2, rank=1, bit=3)
+        )
+        with pytest.raises(IntegrityViolation) as ei:
+            ledger.on_boundary(engine, 2)
+        exc = ei.value
+        assert 1 in exc.suspects  # the corrupt rank is always a suspect
+        assert exc.window == (2, 2)
+        assert exc.fault_kind == "integrity"
+        ev = engine.fault_events[-1]
+        assert ev["suspects"] == list(exc.suspects)
+        assert ev["window"] == [2, 2]
+
+    def test_rewind_drops_rows_but_keeps_budget_consumption(self):
+        ledger = IntegrityLedger()
+        engine = mk()
+        _seed_state(engine)
+        for step in (1, 2, 3):
+            ledger.on_boundary(engine, step)
+        ledger.repairs = 1
+        ledger.rewind(1)
+        assert [r.superstep for r in ledger.rows] == [1]
+        assert ledger.last_good == 1
+        assert ledger.repairs == 1  # per run, not per attempt
+        ledger.reset()
+        assert ledger.rows == [] and ledger.repairs == 0
+
+
+DTYPES = [np.float64, np.float32, np.int64, np.int32]
+
+_HYP_ENGINES = {}
+
+
+def _hyp_engine(mode):
+    if mode not in _HYP_ENGINES:
+        _HYP_ENGINES[mode] = mk(mode)
+    return _HYP_ENGINES[mode]
+
+
+class TestLedgerProperty:
+    """No false negatives, no false positives — the ledger's contract."""
+
+    @pytest.mark.parametrize("mode", sorted(MODES))
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        dtype=st.sampled_from(DTYPES),
+        width=st.sampled_from([None, 2, 3]),
+        rank=st.integers(0, 3),
+        bit=st.integers(0, 1 << 20),
+        seed=st.integers(0, 10),
+    )
+    def test_every_single_bit_flip_is_detected(
+        self, mode, dtype, width, rank, bit, seed
+    ):
+        engine = _hyp_engine(mode)
+        _seed_state(engine, seed=seed, dtype=dtype, width=width)
+        ledger = IntegrityLedger()
+        assert ledger.on_boundary(engine, 1).ok
+        flipped = apply_memflip(
+            engine.contexts[rank],
+            FaultSpec("memflip", 2, rank=rank, bit=bit),
+        )
+        assert flipped == 1
+        with pytest.raises((IntegrityViolation, IntegrityFailure)):
+            ledger.on_boundary(engine, 2)
+        assert rank in ledger.rows[-1].suspects
+
+    @pytest.mark.parametrize("mode", sorted(MODES))
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        dtype=st.sampled_from(DTYPES),
+        width=st.sampled_from([None, 2]),
+        seed=st.integers(0, 10),
+    )
+    def test_clean_state_never_trips(self, mode, dtype, width, seed):
+        engine = _hyp_engine(mode)
+        _seed_state(engine, seed=seed, dtype=dtype, width=width)
+        ledger = IntegrityLedger()
+        for step in (1, 2):
+            row = ledger.on_boundary(engine, step)
+            assert row.ok and row.suspects == ()
+
+    @pytest.mark.parametrize("mode", sorted(MODES))
+    def test_clean_algorithm_runs_never_trip(self, mode):
+        """End-to-end false-positive check: real algorithm state (BFS's
+        infs, PR's floats, CC's labels) verifies clean at every
+        boundary on both executors."""
+        for runner in (
+            lambda e: algorithms.bfs(e, root=0),
+            lambda e: algorithms.pagerank(e, iterations=5),
+            lambda e: algorithms.connected_components(e),
+        ):
+            engine = mk(mode)
+            ledger = IntegrityLedger()
+            engine.attach_integrity(ledger)
+            runner(engine)
+            assert ledger.rows, "ledger never consulted"
+            assert all(r.ok for r in ledger.rows)
+
+
+class TestCertifiers:
+    def _bfs(self, engine=None):
+        engine = engine or mk()
+        res = algorithms.bfs(engine, root=0)
+        return engine, res.values, res.extra["levels"]
+
+    def test_bfs_seal_passes_and_charges(self):
+        engine, parents, levels = self._bfs()
+        before = engine.clocks.certify_total
+        report = certify_bfs(engine, parents, levels, root=0)
+        assert report.ok and all(report.checks.values())
+        assert report.algo == "bfs"
+        assert engine.clocks.certify_total > before
+        assert report.seconds > 0.0
+
+    def test_bfs_catches_fake_parent_edge(self):
+        engine, parents, levels = self._bfs()
+        victim = next(
+            v for v in range(1, len(parents)) if parents[v] >= 0
+        )
+        bad = parents.copy()
+        bad[victim] = victim  # self-parent: no such edge
+        with pytest.raises(IntegrityFailure, match="parent-edge") as ei:
+            certify_bfs(engine, bad, levels, root=0)
+        assert ei.value.report is not None
+        assert ei.value.report.checks["parent-edge"] is False
+
+    def test_bfs_catches_level_skew(self):
+        engine, parents, levels = self._bfs()
+        victim = next(
+            v for v in range(1, len(levels)) if levels[v] > 0
+        )
+        bad = levels.copy()
+        bad[victim] += 1
+        with pytest.raises(IntegrityFailure, match="level-consistent"):
+            certify_bfs(engine, parents, bad, root=0)
+
+    def test_cc_catches_label_disagreement(self):
+        engine = mk()
+        labels = algorithms.connected_components(engine).values
+        assert certify_cc(engine, labels).ok
+        bad = labels.copy()
+        bad[GRAPH.indices[0]] = len(bad) - 1  # break one edge's labels
+        with pytest.raises(IntegrityFailure, match="edge-agreement|canonical"):
+            certify_cc(engine, bad)
+
+    def test_sssp_catches_overtight_distance(self):
+        engine = mkw()
+        dist = algorithms.sssp(engine, root=0).values
+        assert certify_sssp(engine, dist, root=0).ok
+        bad = dist.copy()
+        reached = np.flatnonzero(np.isfinite(bad) & (bad > 0))
+        bad[reached[0]] *= 1.5  # now some in-edge has negative slack
+        with pytest.raises(IntegrityFailure, match="slack"):
+            certify_sssp(engine, bad, root=0)
+
+    def test_sssp_requires_weights(self):
+        engine = mk()
+        with pytest.raises(ValueError, match="weighted"):
+            certify_sssp(engine, np.zeros(GRAPH.n_vertices), root=0)
+
+    def test_pagerank_catches_mass_loss(self):
+        engine = mk()
+        pr = algorithms.pagerank(engine, iterations=10).values
+        assert certify_pagerank(engine, pr).ok
+        with pytest.raises(IntegrityFailure, match="mass"):
+            certify_pagerank(engine, pr * 1.01)
+
+    def test_pagerank_catches_residual_blowup(self):
+        engine = mk()
+        pr = algorithms.pagerank(engine, iterations=10).values
+        bad = pr.copy()
+        # Move mass between two vertices: sum is preserved but the
+        # vector is no longer near the power-iteration fixed point.
+        bad[0] += 0.2
+        bad[1] -= 0.2
+        with pytest.raises(IntegrityFailure, match="residual|non-negative"):
+            certify_pagerank(engine, bad)
+
+    def test_certify_flag_on_algorithms(self):
+        engine = mk()
+        res = algorithms.pagerank(engine, iterations=5, certify=True)
+        cert = res.extra["certification"]
+        assert cert["ok"] is True and cert["algo"] == "pagerank"
+        # The certifier charge is visible in the timing report.
+        assert res.timings.certify > 0.0
+        assert 0.0 < res.timings.certify_fraction < 1.0
+
+
+class TestSdcCases:
+    def test_unknown_algo_and_scenario_rejected(self):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            run_sdc_case(mk, "WAT", "memflip-single")
+        with pytest.raises(ValueError, match="unknown SDC scenario"):
+            run_sdc_case(mk, "BFS", "meteor-strike")
+
+    def test_expected_scenarios_present(self):
+        assert set(SDC_SCENARIOS) == {
+            "memflip-single",
+            "memflip-burst",
+            "memflip-double",
+        }
+
+    @pytest.mark.parametrize("algo", ["BFS", "CC", "PR"])
+    def test_single_flip_repairs_bit_identically(self, algo):
+        case = run_sdc_case(mk, algo, "memflip-single")
+        assert case.ok, case.error
+        assert case.status == "repaired"
+        assert case.detected
+        assert case.values_equal and case.counters_equal and case.clocks_equal
+        assert case.repairs == 1
+        kinds = [e["kind"] for e in case.fault_events]
+        assert "memflip" in kinds and "integrity" in kinds
+
+    def test_sssp_repairs_on_weighted_graph(self):
+        case = run_sdc_case(mkw, "SSSP", "memflip-single")
+        assert case.ok, case.error
+
+    def test_double_flip_needs_two_repairs(self):
+        case = run_sdc_case(mk, "PR", "memflip-double")
+        assert case.ok, case.error
+        assert case.repairs == 2
+
+    def test_exhausted_budget_reports_unrepaired(self):
+        # Four flips against a budget of 1: the second detection must
+        # turn fatal instead of looping forever.
+        plan = FaultPlan(
+            [
+                FaultSpec("memflip", s, rank=1, bit=11 + s)
+                for s in (2, 3, 4, 5)
+            ]
+        )
+        case = run_sdc_case(
+            mk, "PR", "custom", plan=plan, repair_budget=1
+        )
+        assert case.status == "unrepaired"
+        assert case.detected  # loud failure, not silent corruption
+        assert "budget exhausted" in case.error
+        assert not case.ok
+
+
+class TestSdcCampaign:
+    @pytest.mark.parametrize("mode", sorted(MODES))
+    def test_full_campaign_green_on_both_executors(self, mode):
+        report = run_sdc_campaign(
+            lambda: mk(mode), make_weighted_engine=lambda: mkw(mode)
+        )
+        assert report["schema"] == "repro.faults.sdc.v1"
+        assert report["total"] == 12  # 3 scenarios x BFS/CC/PR/SSSP
+        assert report["failed"] == 0
+        assert report["undetected"] == 0
+        assert report["unrepaired"] == 0
+        assert report["skipped"] == []
+        # single + burst: 1 repair each x 4 algos; double: 2 x 4.
+        assert report["repairs"] == 16
+
+    def test_weighted_algos_skip_loudly_without_weighted_factory(self):
+        report = run_sdc_campaign(
+            mk, algos=("BFS", "SSSP"), scenarios=("memflip-single",)
+        )
+        assert report["total"] == 1
+        assert report["skipped"] == [
+            {"scenario": "memflip-single", "algo": "SSSP"}
+        ]
+
+
+class TestSdcCLI:
+    ARGS = [
+        "faults",
+        "--sdc",
+        "--dataset",
+        "FR",
+        "--target-edges",
+        "4096",
+        "--algos",
+        "BFS",
+        "--scenario",
+        "memflip-single",
+    ]
+
+    def test_sdc_campaign_exits_zero(self, capsys):
+        rc = main(self.ARGS)
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "memflip-single" in out
+        assert "repaired" in out
+        assert "0 failed" in out
+
+    def test_sdc_report_written_to_disk(self, tmp_path, capsys):
+        out_path = tmp_path / "sdc.json"
+        rc = main(self.ARGS + ["--out", str(out_path)])
+        assert rc == 0
+        report = json.loads(out_path.read_text())
+        assert report["schema"] == "repro.faults.sdc.v1"
+        assert report["failed"] == 0
+        assert report["cases"][0]["status"] == "repaired"
+        capsys.readouterr()
+
+    @pytest.mark.parametrize(
+        "flags",
+        [
+            ["--sdc", "--elastic"],
+            ["--sdc", "--autoscale"],
+            ["--elastic", "--autoscale"],
+        ],
+    )
+    def test_campaign_flags_mutually_exclusive(self, flags, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["faults"] + flags)
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "usage:" in err
+        assert "not allowed with argument" in err
+
+    def test_foreign_scenario_rejected_in_sdc_mode(self, capsys):
+        rc = main(
+            ["faults", "--sdc", "--scenario", "chronic-straggler-demote"]
+        )
+        assert rc == 2
+        out = capsys.readouterr().out
+        assert "not a --sdc scenario" in out

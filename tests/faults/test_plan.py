@@ -32,6 +32,75 @@ class TestFaultSpec:
         with pytest.raises(ValueError, match="rank"):
             FaultSpec("transient", 1, rank=-1)
 
+    def test_memflip_needs_rank(self):
+        with pytest.raises(ValueError, match="explicit rank"):
+            FaultSpec("memflip", 1)
+
+    def test_memflip_rejects_collective(self):
+        with pytest.raises(ValueError, match="collective"):
+            FaultSpec("memflip", 1, rank=0, collective="allreduce")
+
+    def test_recover_rejects_explicit_rank(self):
+        with pytest.raises(ValueError, match="rank"):
+            FaultSpec("recover", 1, rank=2)
+
+    def test_negative_bit_rejected(self):
+        with pytest.raises(ValueError, match="bit"):
+            FaultSpec("memflip", 1, rank=0, bit=-1)
+
+
+class TestValidationMessages:
+    """Every FaultSpec error names the offending field *first* and,
+    where choices matter, quotes them in FAULT_KINDS documentation
+    order."""
+
+    DOC_ORDER = "crash, transient, corruption, straggler, recover, memflip"
+
+    @pytest.mark.parametrize(
+        "field,ctor",
+        [
+            ("kind", lambda: FaultSpec("meteor", 1)),
+            ("superstep", lambda: FaultSpec("transient", 0)),
+            ("count", lambda: FaultSpec("transient", 1, count=0)),
+            ("bit", lambda: FaultSpec("corruption", 1, bit=-3)),
+            ("delay_s", lambda: FaultSpec("straggler", 1, rank=0)),
+            ("rank", lambda: FaultSpec("crash", 1)),
+            ("rank", lambda: FaultSpec("memflip", 1)),
+            ("rank", lambda: FaultSpec("recover", 1, rank=0)),
+            ("rank", lambda: FaultSpec("transient", 1, rank=-1)),
+            (
+                "collective",
+                lambda: FaultSpec("memflip", 1, rank=0, collective="bcast"),
+            ),
+            (
+                "collective",
+                lambda: FaultSpec("recover", 1, collective="bcast"),
+            ),
+        ],
+    )
+    def test_field_named_first(self, field, ctor):
+        with pytest.raises(ValueError) as ei:
+            ctor()
+        assert str(ei.value).startswith(f"{field}:")
+
+    def test_unknown_kind_lists_all_choices_in_doc_order(self):
+        with pytest.raises(ValueError) as ei:
+            FaultSpec("meteor", 1)
+        msg = str(ei.value)
+        assert "unknown fault kind 'meteor'" in msg
+        assert self.DOC_ORDER in msg
+
+    def test_ranked_kinds_listed_in_doc_order(self):
+        with pytest.raises(ValueError) as ei:
+            FaultSpec("memflip", 1)
+        # _RANKED_KINDS rendered in FAULT_KINDS order, not tuple order.
+        assert "crash, straggler, memflip" in str(ei.value)
+
+    def test_boundary_kinds_listed_in_doc_order(self):
+        with pytest.raises(ValueError) as ei:
+            FaultSpec("memflip", 1, rank=0, collective="allgatherv")
+        assert "recover, memflip" in str(ei.value)
+
 
 class TestFaultPlan:
     def test_specs_sorted_by_superstep(self):
@@ -104,6 +173,28 @@ class TestFaultPlan:
             FaultPlan.random(seed=0, n_supersteps=10, n_ranks=4,
                              max_crashes=-2)
 
+    def test_random_draws_memflips(self):
+        plan = FaultPlan.random(
+            seed=11, n_supersteps=20, n_ranks=4,
+            transient_rate=0.0, corruption_rate=0.0, straggler_rate=0.0,
+            memflip_rate=1.0,
+        )
+        flips = [s for s in plan if s.kind == "memflip"]
+        assert len(flips) == 20
+        assert all(s.rank is not None and 0 <= s.rank < 4 for s in flips)
+        assert all(0 <= s.bit < 4096 for s in flips)
+        again = FaultPlan.random(
+            seed=11, n_supersteps=20, n_ranks=4,
+            transient_rate=0.0, corruption_rate=0.0, straggler_rate=0.0,
+            memflip_rate=1.0,
+        )
+        assert plan.specs == again.specs
+
+    def test_random_rejects_bad_memflip_rate(self):
+        with pytest.raises(ValueError, match="memflip_rate.*1.5"):
+            FaultPlan.random(seed=0, n_supersteps=10, n_ranks=4,
+                             memflip_rate=1.5)
+
     def test_for_superstep_filters(self):
         plan = FaultPlan(
             [FaultSpec("transient", 2), FaultSpec("corruption", 4)]
@@ -122,3 +213,11 @@ class TestFaultPlan:
         assert "superstep 2" in text and "crash" in text
         assert "superstep 3" in text and "stall" in text
         assert FaultPlan([]).describe() == "(no faults planned)"
+
+    def test_describe_memflip(self):
+        text = FaultPlan(
+            [FaultSpec("memflip", 4, rank=2, bit=137, count=3)]
+        ).describe()
+        assert "superstep 4" in text
+        assert "3 state bit(s) flip from bit 137" in text
+        assert "rank 2" in text
